@@ -1,0 +1,59 @@
+// Command benchgen generates the dense1–dense5 benchmark designs (Table I
+// statistics) as JSON files.
+//
+// Usage:
+//
+//	benchgen [-out DIR] [case ...]
+//
+// With no case arguments all five designs are generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rdlroute/internal/design"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable command core.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	outDir := fs.String("out", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := fs.Args()
+	if len(names) == 0 {
+		names = design.DenseNames()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		d, err := design.GenerateDense(name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, name+".json")
+		if err := d.SaveFile(path); err != nil {
+			return err
+		}
+		s := d.Stats()
+		fmt.Fprintf(stdout, "%s: chips=%d io=%d bumps=%d nets=%d layers=%d -> %s\n",
+			s.Name, s.Chips, s.IOPads, s.BumpPads, s.Nets, s.WireLayers, path)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+)
+
+func TestRunGeneratesAll(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range design.DenseNames() {
+		d, err := design.LoadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("loaded %s from %s.json", d.Name, name)
+		}
+	}
+	if got := strings.Count(sb.String(), "->"); got != 5 {
+		t.Errorf("reported %d files, want 5", got)
+	}
+}
+
+func TestRunSingleCase(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir, "dense2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := design.LoadFile(filepath.Join(dir, "dense2.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := design.LoadFile(filepath.Join(dir, "dense1.json")); err == nil {
+		t.Error("unrequested case generated")
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-out", t.TempDir(), "nope"}, &sb); err == nil {
+		t.Error("unknown case must error")
+	}
+}

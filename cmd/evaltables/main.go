@@ -1,0 +1,138 @@
+// Command evaltables regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	evaltables -table 1            # Table I  (benchmark statistics)
+//	evaltables -table 2            # Table II (ours vs traditional router)
+//	evaltables -table 3            # Table III (ours vs AARF*)
+//	evaltables -fig 2              # Fig. 2   (channel utilization series)
+//	evaltables -fig 14 -out out/   # Fig. 14  (dense5 layer-1 SVG)
+//	evaltables -ablations dense3   # ablation studies
+//	evaltables -all -out out/      # everything
+//
+// The -budget flag is the per-run time cap (the paper's 1-hour limit scaled
+// to these benchmarks; default 30s).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rdlroute/internal/bench"
+	"rdlroute/internal/design"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evaltables: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// errNothingSelected asks for usage when no flag selected work.
+var errNothingSelected = errors.New("nothing selected; use -table, -fig, -ablations or -all")
+
+// run is the testable command core.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evaltables", flag.ContinueOnError)
+	var (
+		table     = fs.Int("table", 0, "print table 1, 2 or 3")
+		fig       = fs.Int("fig", 0, "produce figure 2 or 14")
+		ablations = fs.String("ablations", "", "run ablations on the named case")
+		all       = fs.Bool("all", false, "produce every table, figure, and ablation")
+		outDir    = fs.String("out", "out", "output directory for figure files")
+		budget    = fs.Duration("budget", 30*time.Second, "time budget per routing run")
+		cases     = fs.String("cases", "", "comma-free space-separated case subset (default: all five)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Config{TimeBudget: *budget}
+	if *cases != "" {
+		cfg.Cases = splitFields(*cases)
+	}
+	did := false
+
+	if *table == 1 || *all {
+		if err := bench.TableI(stdout, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		did = true
+	}
+	if *table == 2 || *all {
+		if _, err := bench.TableII(stdout, cfg); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *table == 3 || *all {
+		if _, err := bench.TableIII(stdout, cfg); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *fig == 2 || *all {
+		bench.PrintFig2(stdout, design.DefaultRules())
+		did = true
+	}
+	if *fig == 14 || *all {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, "fig14_dense5_layer1.svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		out, err := bench.Fig14(f, *budget)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Fig. 14: wrote %s (routability %.2f%%, wirelength %.0f µm)\n\n",
+			path, out.Metrics.Routability*100, out.Metrics.Wirelength)
+		did = true
+	}
+	if *ablations != "" || *all {
+		name := *ablations
+		if name == "" {
+			name = "dense3"
+		}
+		if err := bench.PrintAblations(stdout, name); err != nil {
+			return err
+		}
+		did = true
+	}
+	if !did {
+		return errNothingSelected
+	}
+	return nil
+}
+
+// splitFields splits on spaces, dropping empties.
+func splitFields(s string) []string {
+	var out []string
+	field := ""
+	for _, r := range s + " " {
+		if r == ' ' || r == ',' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(r)
+	}
+	return out
+}

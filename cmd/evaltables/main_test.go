@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNothingSelected(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != errNothingSelected {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dense5") {
+		t.Error("Table I output incomplete")
+	}
+}
+
+func TestRunTable2Subset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-table", "2", "-cases", "dense1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "dense1") {
+		t.Errorf("Table II output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "dense2") {
+		t.Error("case subset not honored")
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "channel utilization") {
+		t.Error("Fig. 2 output missing")
+	}
+}
+
+func TestRunFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense5 route in -short mode")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-fig", "14", "-out", dir, "-budget", "60s"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig14_dense5_layer1.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("Fig. 14 SVG malformed")
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	got := splitFields("dense1 dense2,dense3  ")
+	want := []string{"dense1", "dense2", "dense3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitFields = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("field %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if out := splitFields(""); len(out) != 0 {
+		t.Errorf("empty split = %v", out)
+	}
+}

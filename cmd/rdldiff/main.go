@@ -1,0 +1,114 @@
+// Command rdldiff compares two routed-geometry JSON files (as written by
+// rdlroute -routes) and reports per-net and total wirelength changes —
+// the regression-review companion to the router.
+//
+// Usage:
+//
+//	rdldiff old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"rdlroute/internal/detail"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rdldiff: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable command core.
+func run(args []string, stdout io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: rdldiff OLD.json NEW.json")
+	}
+	oldR, err := loadRoutes(args[0])
+	if err != nil {
+		return err
+	}
+	newR, err := loadRoutes(args[1])
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		net      int
+		old, new float64
+	}
+	n := len(oldR)
+	if len(newR) > n {
+		n = len(newR)
+	}
+	var rows []row
+	var oldTotal, newTotal float64
+	for ni := 0; ni < n; ni++ {
+		var o, w float64
+		if ni < len(oldR) && oldR[ni] != nil {
+			o = oldR[ni].Wirelength()
+		}
+		if ni < len(newR) && newR[ni] != nil {
+			w = newR[ni].Wirelength()
+		}
+		oldTotal += o
+		newTotal += w
+		if o != w {
+			rows = append(rows, row{net: ni, old: o, new: w})
+		}
+	}
+	// Largest absolute change first.
+	sort.Slice(rows, func(a, b int) bool {
+		da := abs(rows[a].new - rows[a].old)
+		db := abs(rows[b].new - rows[b].old)
+		if da != db {
+			return da > db
+		}
+		return rows[a].net < rows[b].net
+	})
+	for _, r := range rows {
+		status := "changed"
+		switch {
+		case r.old == 0:
+			status = "added"
+		case r.new == 0:
+			status = "removed"
+		}
+		fmt.Fprintf(stdout, "net %-4d %-8s %10.1f -> %10.1f (%+.1f µm)\n",
+			r.net, status, r.old, r.new, r.new-r.old)
+	}
+	delta := newTotal - oldTotal
+	pct := 0.0
+	if oldTotal > 0 {
+		pct = 100 * delta / oldTotal
+	}
+	fmt.Fprintf(stdout, "total: %.1f -> %.1f µm (%+.1f µm, %+.2f%%), %d nets changed\n",
+		oldTotal, newTotal, delta, pct, len(rows))
+	return nil
+}
+
+func loadRoutes(path string) ([]*detail.Route, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var routes []*detail.Route
+	if err := json.Unmarshal(data, &routes); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return routes, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

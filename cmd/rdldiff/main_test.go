@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+)
+
+func writeRoutes(t *testing.T, path string, routes []*detail.Route) {
+	t.Helper()
+	data, err := json.Marshal(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mk(net int, length float64) *detail.Route {
+	return &detail.Route{
+		Net: net,
+		Segs: []detail.RouteSeg{{
+			Layer: 0,
+			Pl:    geom.Polyline{geom.Pt(0, 0), geom.Pt(length, 0)},
+		}},
+	}
+}
+
+func TestDiffBasic(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeRoutes(t, oldP, []*detail.Route{mk(0, 100), mk(1, 200), nil})
+	writeRoutes(t, newP, []*detail.Route{mk(0, 100), mk(1, 150), mk(2, 50)})
+
+	var sb strings.Builder
+	if err := run([]string{oldP, newP}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"net 1", "changed", "-50.0",
+		"net 2", "added",
+		"total: 300.0 -> 300.0",
+		"2 nets changed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	// Net 0 unchanged: not listed.
+	if strings.Contains(out, "net 0") {
+		t.Error("unchanged net listed")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "r.json")
+	writeRoutes(t, p, []*detail.Route{mk(0, 100)})
+	var sb strings.Builder
+	if err := run([]string{p, p}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 nets changed") {
+		t.Errorf("identical diff wrong:\n%s", sb.String())
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"one"}, &sb); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+	if err := run([]string{"/no/old.json", "/no/new.json"}, &sb); err == nil {
+		t.Error("missing files accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad, bad}, &sb); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

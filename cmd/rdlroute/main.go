@@ -1,0 +1,148 @@
+// Command rdlroute routes a design with the any-angle RDL router and
+// reports routability, wirelength, runtime and DRC status. It can also run
+// the two baseline routers, print geometry statistics, and emit an SVG of
+// any wire layer.
+//
+// Usage:
+//
+//	rdlroute [-router ours|cai|aarf] [-budget 30s] [-svg out.svg -layer 0]
+//	         [-routes out.json] [-stats] (-design file.json | -case dense1)
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"rdlroute/internal/aarf"
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/router"
+	"rdlroute/internal/stats"
+	"rdlroute/internal/svg"
+	"rdlroute/internal/verify"
+	"rdlroute/internal/xarch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rdlroute: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable command core.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdlroute", flag.ContinueOnError)
+	var (
+		designPath = fs.String("design", "", "design JSON file to route")
+		caseName   = fs.String("case", "", "generate and route a dense benchmark (dense1..dense5)")
+		which      = fs.String("router", "ours", "router: ours, cai (X-architecture) or aarf (AARF*)")
+		budget     = fs.Duration("budget", 30*time.Second, "time budget (0 = unlimited)")
+		svgPath    = fs.String("svg", "", "write an SVG of one wire layer to this file")
+		layer      = fs.Int("layer", 0, "wire layer for -svg")
+		routesPath = fs.String("routes", "", "write routed geometry JSON to this file")
+		showStats  = fs.Bool("stats", false, "print geometry statistics (angle histogram, per-layer WL)")
+		doVerify   = fs.Bool("verify", false, "run the independent result verifier and print its summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var d *design.Design
+	var err error
+	switch {
+	case *designPath != "":
+		d, err = design.LoadFile(*designPath)
+	case *caseName != "":
+		d, err = design.GenerateDense(*caseName)
+	default:
+		return errors.New("need -design FILE or -case NAME")
+	}
+	if err != nil {
+		return err
+	}
+
+	var routes []*detail.Route
+	switch *which {
+	case "ours":
+		out, err := router.Route(d, router.Options{TimeBudget: *budget})
+		if err != nil {
+			return err
+		}
+		m := out.Metrics
+		fmt.Fprintf(stdout, "router=ours design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm vias=%d runtime=%v drc=%d timedOut=%v\n",
+			d.Name, m.RoutedNets, m.TotalNets, m.Routability*100, m.Wirelength,
+			m.Vias, m.Runtime.Round(time.Millisecond), m.DRCViolations, m.TimedOut)
+		routes = out.DetailResult.Routes
+	case "cai":
+		res, err := xarch.Route(d, xarch.Options{TimeBudget: *budget})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "router=cai design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm runtime=%v timedOut=%v\n",
+			d.Name, res.RoutedNets, len(d.Nets), res.Routability*100, res.Wirelength,
+			res.Runtime.Round(time.Millisecond), res.TimedOut)
+		routes = res.DetailResult.Routes
+	case "aarf":
+		res, err := aarf.Route(d, aarf.Options{TimeBudget: *budget})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "router=aarf design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm runtime=%v timedOut=%v\n",
+			d.Name, res.RoutedNets, len(d.Nets), res.Routability*100, res.Wirelength,
+			res.Runtime.Round(time.Millisecond), res.TimedOut)
+		routes = res.DetailResult.Routes
+	default:
+		return fmt.Errorf("unknown -router %q", *which)
+	}
+
+	if *showStats {
+		stats.Analyze(routes).Print(stdout)
+	}
+	if *doVerify {
+		rep := verify.Verify(d, routes)
+		fmt.Fprintf(stdout, "verify: %d nets checked, %d findings (connectivity=%d via-via=%d via-wire=%d placement=%d rule=%d)\n",
+			rep.CheckedNets, len(rep.Problems),
+			rep.Count(verify.BrokenConnectivity), rep.Count(verify.ViaViaSpacing),
+			rep.Count(verify.ViaWireSpacing), rep.Count(verify.ViaPlacement),
+			rep.Count(verify.RuleViolation))
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		if err := svg.Render(f, d, routes, svg.Options{Layer: *layer, ShowVias: true}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (layer %d)\n", *svgPath, *layer)
+	}
+	if *routesPath != "" {
+		f, err := os.Create(*routesPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(routes); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *routesPath)
+	}
+	return nil
+}

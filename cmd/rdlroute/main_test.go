@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+)
+
+func TestRunNoInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no input must error")
+	}
+}
+
+func TestRunUnknownRouter(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-case", "dense1", "-router", "magic"}, &sb); err == nil {
+		t.Error("unknown router must error")
+	}
+}
+
+func TestRunCaseOurs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-case", "dense1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"router=ours", "design=dense1", "routability=100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, r := range []string{"cai", "aarf"} {
+		var sb strings.Builder
+		if err := run([]string{"-case", "dense1", "-router", r}, &sb); err != nil {
+			t.Fatalf("%s: %v", r, err)
+		}
+		if !strings.Contains(sb.String(), "router="+r) {
+			t.Errorf("%s output wrong: %s", r, sb.String())
+		}
+	}
+}
+
+func TestRunDesignFileAndOutputs(t *testing.T) {
+	dir := t.TempDir()
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designPath := filepath.Join(dir, "d.json")
+	if err := d.SaveFile(designPath); err != nil {
+		t.Fatal(err)
+	}
+	svgPath := filepath.Join(dir, "out.svg")
+	routesPath := filepath.Join(dir, "routes.json")
+
+	var sb strings.Builder
+	err = run([]string{
+		"-design", designPath,
+		"-svg", svgPath, "-layer", "0",
+		"-routes", routesPath,
+		"-stats",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stats were printed.
+	if !strings.Contains(sb.String(), "angle histogram") {
+		t.Error("stats output missing")
+	}
+	// SVG exists and looks like SVG.
+	svgData, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svgData), "<svg") {
+		t.Error("SVG output malformed")
+	}
+	// Routes JSON parses back into routes.
+	routesData, err := os.ReadFile(routesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routes []*detail.Route
+	if err := json.Unmarshal(routesData, &routes); err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != len(d.Nets) {
+		t.Errorf("routes JSON has %d entries, want %d", len(routes), len(d.Nets))
+	}
+	for _, rt := range routes {
+		if rt == nil || len(rt.Segs) == 0 {
+			t.Fatal("routes JSON lost geometry")
+		}
+	}
+}
+
+func TestRunMissingDesignFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-design", "/no/such/file.json"}, &sb); err == nil {
+		t.Error("missing design file must error")
+	}
+}
+
+func TestRunVerifyFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-case", "dense1", "-verify"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "verify: 22 nets checked") {
+		t.Errorf("verify output missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "connectivity=0") {
+		t.Error("verify should report clean connectivity")
+	}
+}

@@ -1,0 +1,25 @@
+// Package rdlroute reproduces "Any-Angle Routing for Redistribution Layers
+// in 2.5D IC Packages" (Chung, Chuang, Chang — DAC 2023): the first
+// any-angle routing algorithm for multiple RDLs in InFO-style advanced
+// packages.
+//
+// The implementation lives under internal/:
+//
+//   - internal/geom     — 2-D computational geometry substrate
+//   - internal/dt       — Bowyer–Watson Delaunay triangulation
+//   - internal/design   — design model + dense1–dense5 benchmark generator
+//   - internal/viaplan  — candidate-via planning
+//   - internal/rgraph   — multi-layer routing graph (Eq. 1/Eq. 2 capacities)
+//   - internal/global   — crossing-aware A*, RUDY ordering, Eq. 3 refinement
+//   - internal/detail   — DP access-point adjustment, fit routing, DRC
+//   - internal/router   — the public pipeline facade
+//   - internal/aarf     — AARF* baseline (Table III)
+//   - internal/xarch    — traditional X-architecture baseline (Table II)
+//   - internal/svg      — layout rendering (Fig. 14)
+//   - internal/stats    — geometry analytics (angle histograms, utilization)
+//   - internal/verify   — independent result verifier
+//   - internal/bench    — evaluation harness for every table and figure
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package rdlroute

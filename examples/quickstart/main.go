@@ -1,0 +1,52 @@
+// Quickstart: generate the smallest benchmark, route it with the any-angle
+// RDL router, and print the headline metrics plus a per-net summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/router"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// dense1: two chips, 22 nets, two RDL wire layers.
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Stats()
+	fmt.Printf("design %s: %d chips, %d I/O pads, %d bump pads, %d nets, %d wire layers\n",
+		s.Name, s.Chips, s.IOPads, s.BumpPads, s.Nets, s.WireLayers)
+
+	out, err := router.Route(d, router.Options{TimeBudget: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := out.Metrics
+	fmt.Printf("routability  %.1f%% (%d/%d nets)\n", m.Routability*100, m.RoutedNets, m.TotalNets)
+	fmt.Printf("wirelength   %.0f µm (sum of pin-to-pin lower bounds: %.0f µm)\n",
+		m.Wirelength, d.TotalHPWL())
+	fmt.Printf("vias         %d\n", m.Vias)
+	fmt.Printf("runtime      %v\n", m.Runtime.Round(time.Millisecond))
+	fmt.Printf("DRC          %d violations\n", m.DRCViolations)
+
+	fmt.Println("\nfirst five nets:")
+	for ni, rt := range out.DetailResult.Routes {
+		if ni >= 5 || rt == nil {
+			break
+		}
+		var pts int
+		for _, seg := range rt.Segs {
+			pts += len(seg.Pl)
+		}
+		fmt.Printf("  net %-3d wirelength %7.1f µm, %d layer segment(s), %d vias, %d vertices\n",
+			rt.Net, rt.Wirelength(), len(rt.Segs), len(rt.Vias), pts)
+	}
+}

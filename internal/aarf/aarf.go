@@ -1,0 +1,167 @@
+// Package aarf implements the AARF* baseline of Table III: the multi-layer
+// extension of AARF (Yang et al., TCAD'18), the state-of-the-art any-angle
+// router for flow-based biochips, re-implemented the way the paper describes
+// its weaknesses:
+//
+//   - Nets are routed sequentially in netlist order with no congestion-aware
+//     ordering, no failure-driven order adjustment, and no rip-up: a net that
+//     cannot be routed stays unrouted.
+//   - Routing resources are consumed greedily with no reservation for
+//     subsequent routes: each committed net is treated as a hard constraint
+//     corridor in the (conceptually rebuilt) triangulation, which blocks
+//     twice the paper's capacity model per tile edge.
+//   - After every routed net the triangulation of every wire layer is
+//     rebuilt with the routed net as a constraint. The rebuild dominates
+//     AARF's runtime; this implementation pays that exact cost by
+//     re-triangulating every layer after each commit.
+//   - No diagonal utility refinement and no Eq. 2 corner capacity model
+//     (the naive corner estimate is used).
+//
+// The per-net DP path optimization of AARF is retained through the shared
+// detailed-routing stage.
+package aarf
+
+import (
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/dt"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// Options tunes the AARF* baseline run.
+type Options struct {
+	Via viaplan.Options
+	// TimeBudget mirrors the paper's one-hour cap; AARF* frequently hits it
+	// on the larger designs. Zero means no limit.
+	TimeBudget time.Duration
+	// SkipRebuild disables the per-net triangulation rebuild (used by unit
+	// tests that only care about the routing result, not the runtime
+	// model).
+	SkipRebuild bool
+	// WasteFactor is the edge-capacity units one committed net consumes
+	// (the greedy no-reservation handicap). Zero selects 3: a routed net in
+	// a rebuilt constrained triangulation blocks its own track plus the
+	// clearance corridor on both sides.
+	WasteFactor int
+}
+
+// Route runs the AARF* baseline and returns a router.Output-compatible
+// result as separate pieces (to avoid an import cycle the facade types stay
+// in the caller's hands).
+func Route(d *design.Design, opt Options) (*Result, error) {
+	start := time.Now()
+	plan, err := viaplan.Build(d, opt.Via)
+	if err != nil {
+		return nil, err
+	}
+	g, err := rgraph.Build(d, plan, rgraph.Options{NaiveCornerCapacity: true})
+	if err != nil {
+		return nil, err
+	}
+
+	waste := opt.WasteFactor
+	if waste <= 0 {
+		waste = 3
+	}
+	gopt := global.Options{
+		DisableRUDYOrder:          true,
+		DisableDiagonalRefinement: true,
+		MaxOrderRounds:            1,
+		EdgeUsePerNet:             waste,
+	}
+	// The growing per-layer point sets for the rebuild emulation: every
+	// committed route's vertices join the constraint set of its layers, so
+	// the per-net re-triangulation cost grows as routing proceeds — the
+	// quadratic blow-up that makes the original AARF time out on large
+	// designs.
+	layerPts := make([][]geom.Point, len(plan.Layers))
+	for li, lp := range plan.Layers {
+		for _, v := range lp.Verts {
+			layerPts[li] = append(layerPts[li], v.Pos)
+		}
+	}
+	var gr *global.Router
+	if !opt.SkipRebuild {
+		// A committed route enters the constrained triangulation as its
+		// bend vertices plus the Steiner points where it crosses existing
+		// mesh edges — roughly one vertex every few wire pitches along the
+		// route. Sample accordingly so the rebuild cost grows the way the
+		// original algorithm's does.
+		step := 4 * d.Rules.Pitch()
+		gopt.AfterEachNet = func(net int) {
+			guide := gr.Guide(net)
+			if guide != nil {
+				for i := 0; i+1 < len(guide.Nodes); i++ {
+					a := g.Node(guide.Nodes[i])
+					b := g.Node(guide.Nodes[i+1])
+					if a.Layer != b.Layer {
+						continue
+					}
+					seg := geom.Seg(a.Pos, b.Pos)
+					n := int(seg.Len()/step) + 1
+					for k := 0; k <= n; k++ {
+						layerPts[a.Layer] = append(layerPts[a.Layer], seg.At(float64(k)/float64(n)))
+					}
+				}
+			}
+			for li := range layerPts {
+				_, _ = dt.Triangulate(layerPts[li])
+			}
+		}
+	}
+	deadline := time.Time{}
+	timedOut := false
+	if opt.TimeBudget > 0 {
+		deadline = start.Add(opt.TimeBudget)
+		gopt.ShouldStop = func() bool {
+			if time.Now().After(deadline) {
+				timedOut = true
+				return true
+			}
+			return false
+		}
+	}
+
+	gr = global.New(g, gopt)
+	gres, err := gr.Run()
+	if err != nil {
+		return nil, err
+	}
+	dres, err := detail.Run(gr, gres, detail.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Design:       d,
+		GlobalResult: gres,
+		DetailResult: dres,
+		Runtime:      time.Since(start),
+		TimedOut:     timedOut,
+	}
+	res.Routability = gres.Routability()
+	res.Wirelength = dres.Wirelength
+	for _, rt := range dres.Routes {
+		if rt != nil {
+			res.RoutedNets++
+		}
+	}
+	return res, nil
+}
+
+// Result is the outcome of an AARF* run.
+type Result struct {
+	Design       *design.Design
+	GlobalResult *global.Result
+	DetailResult *detail.Result
+	Routability  float64
+	RoutedNets   int
+	Wirelength   float64
+	Runtime      time.Duration
+	TimedOut     bool
+}

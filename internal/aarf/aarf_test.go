@@ -1,0 +1,107 @@
+package aarf
+
+import (
+	"testing"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/router"
+)
+
+func TestRouteDense1(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, Options{SkipRebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routability <= 0 {
+		t.Fatal("nothing routed")
+	}
+	if res.RoutedNets == 0 || res.Wirelength <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.TimedOut {
+		t.Error("no budget given, must not time out")
+	}
+	// Result plumbing consistency.
+	routed := 0
+	for _, rt := range res.DetailResult.Routes {
+		if rt != nil {
+			routed++
+		}
+	}
+	if routed != res.RoutedNets {
+		t.Errorf("routed count %d != %d", routed, res.RoutedNets)
+	}
+}
+
+func TestRebuildCostsTime(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := Route(d, Options{SkipRebuild: true}); err != nil {
+		t.Fatal(err)
+	}
+	fast := time.Since(start)
+
+	d2, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := Route(d2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(start)
+	if slow < 2*fast {
+		t.Errorf("per-net rebuild should dominate runtime: with=%v without=%v", slow, fast)
+	}
+}
+
+func TestTimeBudgetCutsRun(t *testing.T) {
+	d, err := design.GenerateDense("dense3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, Options{TimeBudget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("1ms budget must time out")
+	}
+	if res.Routability >= 1 {
+		t.Error("timed-out run should be partial")
+	}
+}
+
+func TestNeverBeatsOursOnRoutability(t *testing.T) {
+	// The Table III claim: the greedy baseline never routes more nets than
+	// the full flow.
+	for _, name := range []string{"dense1", "dense2"} {
+		d, err := design.GenerateDense(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ours, err := router.Route(d, router.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := design.GenerateDense(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aa, err := Route(d2, Options{SkipRebuild: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aa.Routability > ours.Metrics.Routability {
+			t.Errorf("%s: AARF* %.3f beats ours %.3f", name, aa.Routability, ours.Metrics.Routability)
+		}
+	}
+}

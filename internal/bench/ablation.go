@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/router"
+)
+
+// AblationResult compares the full flow against the flow with one mechanism
+// disabled, on one benchmark.
+type AblationResult struct {
+	Mechanism string
+	Case      string
+	// Full and Reduced summarize the two runs.
+	Full, Reduced AblationRun
+}
+
+// AblationRun is one side of an ablation.
+type AblationRun struct {
+	Routability   float64
+	Wirelength    float64
+	DRCViolations int
+	Runtime       time.Duration
+	// Extra carries a mechanism-specific count (diagonal reductions,
+	// adjusted partial nets, ...).
+	Extra int
+}
+
+func runWith(name string, opt router.Options) (AblationRun, error) {
+	d, err := design.GenerateDense(name)
+	if err != nil {
+		return AblationRun{}, err
+	}
+	out, err := router.Route(d, opt)
+	if err != nil {
+		return AblationRun{}, err
+	}
+	return AblationRun{
+		Routability:   out.Metrics.Routability,
+		Wirelength:    out.Metrics.Wirelength,
+		DRCViolations: out.Metrics.DRCViolations,
+		Runtime:       out.Metrics.Runtime,
+	}, nil
+}
+
+// AblationCornerCapacity compares the Eq. 2 corner capacity model against
+// the naive min-of-edge-capacities estimate of Fig. 6(a). The naive model
+// over-admits wires around corners, which shows up as DRC spacing
+// violations.
+func AblationCornerCapacity(name string) (*AblationResult, error) {
+	full, err := runWith(name, router.Options{})
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := runWith(name, router.Options{Graph: rgraph.Options{NaiveCornerCapacity: true}})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Mechanism: "corner-capacity(Eq.2)", Case: name, Full: full, Reduced: reduced}, nil
+}
+
+// AblationNetOrder compares RUDY congestion-aware initial ordering against
+// plain netlist order.
+func AblationNetOrder(name string) (*AblationResult, error) {
+	full, err := runWith(name, router.Options{})
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := runWith(name, router.Options{Global: global.Options{DisableRUDYOrder: true}})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Mechanism: "RUDY-net-order", Case: name, Full: full, Reduced: reduced}, nil
+}
+
+// AblationAPAdjust compares the DP access-point adjustment against fixed
+// even distribution (the wirelength mechanism of §III-B1).
+func AblationAPAdjust(name string) (*AblationResult, error) {
+	full, err := runWith(name, router.Options{})
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := runWith(name, router.Options{Detail: detail.Options{SkipAdjust: true}})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Mechanism: "AP-adjustment(DP)", Case: name, Full: full, Reduced: reduced}, nil
+}
+
+// AblationDiagonal compares diagonal utility refinement (Eq. 3) against no
+// refinement.
+func AblationDiagonal(name string) (*AblationResult, error) {
+	full, err := runWith(name, router.Options{})
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := runWith(name, router.Options{Global: global.Options{DisableDiagonalRefinement: true}})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Mechanism: "diagonal-refinement(Eq.3)", Case: name, Full: full, Reduced: reduced}, nil
+}
+
+// PrintAblations runs all four ablations on the given case and prints them.
+func PrintAblations(w io.Writer, name string) error {
+	runs := []func(string) (*AblationResult, error){
+		AblationCornerCapacity, AblationNetOrder, AblationAPAdjust, AblationDiagonal,
+	}
+	fmt.Fprintf(w, "Ablations on %s\n", name)
+	fmt.Fprintf(w, "%-26s | %11s %11s | %12s %12s | %6s %6s\n",
+		"mechanism", "R%full", "R%reduced", "WLfull", "WLreduced", "DRCf", "DRCr")
+	for _, run := range runs {
+		res, err := run(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-26s | %11.2f %11.2f | %12.0f %12.0f | %6d %6d\n",
+			res.Mechanism,
+			res.Full.Routability*100, res.Reduced.Routability*100,
+			res.Full.Wirelength, res.Reduced.Wirelength,
+			res.Full.DRCViolations, res.Reduced.DRCViolations)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

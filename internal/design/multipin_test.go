@@ -1,0 +1,157 @@
+package design
+
+import (
+	"testing"
+
+	"rdlroute/internal/geom"
+)
+
+func addTestMultiNet(t *testing.T, d *Design, name string, pins []PadSpec) []int {
+	t.Helper()
+	ids, err := d.AddMultiPinNet(name, pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestAddMultiPinNetBasics(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	padsBefore := len(d.IOPads)
+	netsBefore := len(d.Nets)
+	c0 := d.Chips[0].Outline
+	c1 := d.Chips[1].Outline
+	ids := addTestMultiNet(t, d, "clk", []PadSpec{
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+100)},
+		{Chip: 1, Pos: geom.Pt(c1.Min.X, c1.Min.Y+100)},
+		{Chip: 1, Pos: geom.Pt(c1.Min.X, c1.Max.Y-100)},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Max.Y-100)},
+	})
+	if len(ids) != 3 { // k-1 subnets for k=4 pins
+		t.Fatalf("subnets = %d, want 3", len(ids))
+	}
+	if len(d.IOPads) != padsBefore+4 {
+		t.Errorf("pads added = %d, want 4", len(d.IOPads)-padsBefore)
+	}
+	if len(d.Nets) != netsBefore+3 {
+		t.Errorf("nets added = %d, want 3", len(d.Nets)-netsBefore)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design with multi-pin net invalid: %v", err)
+	}
+	// All subnets share a group; pre-existing nets do not.
+	for _, a := range ids {
+		for _, b := range ids {
+			if !d.SameGroup(a, b) {
+				t.Errorf("subnets %d and %d not in one group", a, b)
+			}
+		}
+		if d.SameGroup(a, 0) {
+			t.Errorf("subnet %d grouped with net 0", a)
+		}
+	}
+	if d.SameGroup(0, 1) {
+		t.Error("standalone nets grouped together")
+	}
+	if !d.SameGroup(3, 3) {
+		t.Error("a net must be in its own group")
+	}
+	// The MST spans all four pads.
+	padSet := map[int]bool{}
+	for _, ni := range ids {
+		padSet[d.Nets[ni].Pins[0]] = true
+		padSet[d.Nets[ni].Pins[1]] = true
+	}
+	if len(padSet) != 4 {
+		t.Errorf("subnets span %d pads, want 4", len(padSet))
+	}
+}
+
+func TestAddMultiPinNetErrors(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddMultiPinNet("x", []PadSpec{{Chip: 0, Pos: geom.Pt(500, 500)}}); err == nil {
+		t.Error("single pin accepted")
+	}
+	if _, err := d.AddMultiPinNet("x", []PadSpec{
+		{Chip: 99, Pos: geom.Pt(500, 500)},
+		{Chip: 0, Pos: geom.Pt(600, 500)},
+	}); err == nil {
+		t.Error("invalid chip accepted")
+	}
+	if _, err := d.AddMultiPinNet("x", []PadSpec{
+		{Chip: 0, Pos: geom.Pt(-10, 0)},
+		{Chip: 0, Pos: geom.Pt(600, 500)},
+	}); err == nil {
+		t.Error("out-of-outline pin accepted")
+	}
+}
+
+func TestMSTIsMinimal(t *testing.T) {
+	// Four collinear pins: the MST must chain them in order, total length =
+	// span (any other tree is longer).
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := d.Chips[0].Outline
+	y := []float64{c0.Min.Y + 100, c0.Min.Y + 300, c0.Min.Y + 500, c0.Min.Y + 700}
+	ids := addTestMultiNet(t, d, "chain", []PadSpec{
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, y[0])},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, y[2])}, // out of order on purpose
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, y[1])},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, y[3])},
+	})
+	var total float64
+	for _, ni := range ids {
+		total += d.NetHPWL(d.Nets[ni])
+	}
+	if !geom.ApproxEq(total, y[3]-y[0]) {
+		t.Errorf("MST length %v, want %v", total, y[3]-y[0])
+	}
+}
+
+func TestPadNetCount(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.PadNetCount()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("pad %d referenced %d times in a 2-pin design", i, c)
+		}
+	}
+	c0 := d.Chips[0].Outline
+	addTestMultiNet(t, d, "star", []PadSpec{
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+90)},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+290)},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+490)},
+	})
+	counts = d.PadNetCount()
+	// The middle pad of a 3-pin chain carries 2 subnets.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max != 2 {
+		t.Errorf("max pad net count = %d, want 2", max)
+	}
+}
+
+func TestGroupOfOutOfRange(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GroupOf(-1) != -1 || d.GroupOf(10_000) != -1 {
+		t.Error("out-of-range GroupOf should be -1")
+	}
+}

@@ -1,0 +1,119 @@
+package design
+
+import (
+	"fmt"
+
+	"rdlroute/internal/geom"
+)
+
+// Obstacle is a routing keep-out region: no wires or vias of the listed
+// wire layers may enter the rectangle. Packages use keep-outs for die
+// cavities, stress-sensitive zones around the molding edge, inductor
+// shields, and reserved power-plane cuts.
+type Obstacle struct {
+	Name string
+	Rect geom.Rect
+	// Layers lists the blocked wire layer indices; empty blocks every
+	// layer.
+	Layers []int
+}
+
+// BlocksLayer reports whether the obstacle applies to the given wire layer.
+func (o Obstacle) BlocksLayer(layer int) bool {
+	if len(o.Layers) == 0 {
+		return true
+	}
+	for _, l := range o.Layers {
+		if l == layer {
+			return true
+		}
+	}
+	return false
+}
+
+// AddObstacle appends a keep-out region to the design after validating it:
+// the rectangle must lie inside the outline, must not cover any I/O pad of
+// a blocked layer's terminals, and the layer list must reference existing
+// wire layers.
+func (d *Design) AddObstacle(o Obstacle) error {
+	if !d.Outline.ContainsRect(o.Rect) {
+		return fmt.Errorf("design %s: obstacle %q outside outline", d.Name, o.Name)
+	}
+	for _, l := range o.Layers {
+		if l < 0 || l >= d.WireLayers {
+			return fmt.Errorf("design %s: obstacle %q blocks invalid layer %d", d.Name, o.Name, l)
+		}
+	}
+	if o.BlocksLayer(0) {
+		for _, p := range d.IOPads {
+			if o.Rect.Contains(p.Pos) {
+				return fmt.Errorf("design %s: obstacle %q covers I/O pad %d", d.Name, o.Name, p.ID)
+			}
+		}
+	}
+	if o.BlocksLayer(d.WireLayers - 1) {
+		for _, p := range d.BumpPads {
+			if o.Rect.Contains(p.Pos) {
+				return fmt.Errorf("design %s: obstacle %q covers bump pad %d", d.Name, o.Name, p.ID)
+			}
+		}
+	}
+	d.Obstacles = append(d.Obstacles, o)
+	return nil
+}
+
+// ObstaclesOnLayer returns the obstacles blocking the given wire layer.
+func (d *Design) ObstaclesOnLayer(layer int) []Obstacle {
+	var out []Obstacle
+	for _, o := range d.Obstacles {
+		if o.BlocksLayer(layer) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// segmentHitsRect reports whether segment s enters rectangle r (boundary
+// inclusive).
+func segmentHitsRect(s geom.Segment, r geom.Rect) bool {
+	if r.Contains(s.A) || r.Contains(s.B) {
+		return true
+	}
+	corners := [4]geom.Point{
+		r.Min, geom.Pt(r.Max.X, r.Min.Y), r.Max, geom.Pt(r.Min.X, r.Max.Y),
+	}
+	for i := 0; i < 4; i++ {
+		if s.Intersects(geom.Seg(corners[i], corners[(i+1)%4])) {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentBlocked reports whether a wire segment on the given layer enters
+// any obstacle (expanded by clearance).
+func (d *Design) SegmentBlocked(s geom.Segment, layer int, clearance float64) bool {
+	for _, o := range d.Obstacles {
+		if !o.BlocksLayer(layer) {
+			continue
+		}
+		if segmentHitsRect(s, o.Rect.Expand(clearance)) {
+			return true
+		}
+	}
+	return false
+}
+
+// PointBlocked reports whether a point on the given layer lies in any
+// obstacle (expanded by clearance).
+func (d *Design) PointBlocked(p geom.Point, layer int, clearance float64) bool {
+	for _, o := range d.Obstacles {
+		if !o.BlocksLayer(layer) {
+			continue
+		}
+		if o.Rect.Expand(clearance).Contains(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package design
+
+import (
+	"testing"
+
+	"rdlroute/internal/geom"
+)
+
+func TestObstacleBlocksLayer(t *testing.T) {
+	all := Obstacle{Rect: geom.R(0, 0, 10, 10)}
+	for l := 0; l < 4; l++ {
+		if !all.BlocksLayer(l) {
+			t.Errorf("empty layer list must block layer %d", l)
+		}
+	}
+	some := Obstacle{Rect: geom.R(0, 0, 10, 10), Layers: []int{1, 3}}
+	if some.BlocksLayer(0) || !some.BlocksLayer(1) || some.BlocksLayer(2) || !some.BlocksLayer(3) {
+		t.Error("layer filter wrong")
+	}
+}
+
+func TestAddObstacleValidation(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside the outline.
+	if err := d.AddObstacle(Obstacle{Name: "o", Rect: geom.R(-10, 0, 5, 5)}); err == nil {
+		t.Error("outside-outline obstacle accepted")
+	}
+	// Invalid layer.
+	if err := d.AddObstacle(Obstacle{Name: "o", Rect: geom.R(100, 100, 200, 200), Layers: []int{9}}); err == nil {
+		t.Error("invalid layer accepted")
+	}
+	// Covering an I/O pad on a blocked layer.
+	pad := d.IOPads[0].Pos
+	if err := d.AddObstacle(Obstacle{Name: "o", Rect: geom.R(pad.X-5, pad.Y-5, pad.X+5, pad.Y+5)}); err == nil {
+		t.Error("pad-covering obstacle accepted")
+	}
+	// In dense1 (2 layers) a layer-1 obstacle near the pad column would
+	// cover bump pads, which the validation correctly rejects; a middle
+	// layer of dense3 carries no pads at all, so the same region is fine.
+	d3, err := GenerateDense("dense3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad3 := d3.IOPads[0].Pos
+	if err := d3.AddObstacle(Obstacle{Name: "o",
+		Rect: geom.R(pad3.X-5, pad3.Y-5, pad3.X+5, pad3.Y+5), Layers: []int{1}}); err != nil {
+		t.Errorf("middle-layer obstacle over a pad rejected: %v", err)
+	}
+	// Valid obstacle in open space (between bump-grid columns).
+	if err := d.AddObstacle(Obstacle{Name: "keepout", Rect: geom.R(285, 285, 325, 325)}); err != nil {
+		t.Errorf("valid obstacle rejected: %v", err)
+	}
+	if len(d.Obstacles) != 1 {
+		t.Errorf("obstacle count = %d", len(d.Obstacles))
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("design with obstacles invalid: %v", err)
+	}
+}
+
+func TestObstaclesOnLayer(t *testing.T) {
+	d, err := GenerateDense("dense3") // 3 layers
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(o Obstacle) {
+		t.Helper()
+		if err := d.AddObstacle(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Obstacle{Name: "all", Rect: geom.R(100, 100, 200, 200)})
+	must(Obstacle{Name: "l1", Rect: geom.R(300, 100, 400, 200), Layers: []int{1}})
+	if got := len(d.ObstaclesOnLayer(0)); got != 1 {
+		t.Errorf("layer 0 obstacles = %d", got)
+	}
+	if got := len(d.ObstaclesOnLayer(1)); got != 2 {
+		t.Errorf("layer 1 obstacles = %d", got)
+	}
+}
+
+func TestSegmentAndPointBlocked(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddObstacle(Obstacle{Name: "o", Rect: geom.R(100, 100, 200, 200)}); err != nil {
+		t.Fatal(err)
+	}
+	// Segment through the middle.
+	if !d.SegmentBlocked(geom.Seg(geom.Pt(50, 150), geom.Pt(250, 150)), 0, 0) {
+		t.Error("crossing segment not blocked")
+	}
+	// Segment fully inside.
+	if !d.SegmentBlocked(geom.Seg(geom.Pt(120, 120), geom.Pt(180, 180)), 0, 0) {
+		t.Error("interior segment not blocked")
+	}
+	// Segment passing beside; clearance widens the region.
+	s := geom.Seg(geom.Pt(50, 210), geom.Pt(250, 210))
+	if d.SegmentBlocked(s, 0, 0) {
+		t.Error("clear segment blocked")
+	}
+	if !d.SegmentBlocked(s, 0, 15) {
+		t.Error("clearance expansion not applied")
+	}
+	// Point checks.
+	if !d.PointBlocked(geom.Pt(150, 150), 0, 0) {
+		t.Error("interior point not blocked")
+	}
+	if d.PointBlocked(geom.Pt(250, 250), 0, 0) {
+		t.Error("outside point blocked")
+	}
+	// Layer filter respected.
+	d.Obstacles[0].Layers = []int{1}
+	if d.PointBlocked(geom.Pt(150, 150), 0, 0) {
+		t.Error("layer-1 obstacle blocked layer 0")
+	}
+}
+
+func TestSegmentHitsRectEdgeCases(t *testing.T) {
+	r := geom.R(0, 0, 10, 10)
+	// Diagonal crossing corner-to-corner region without endpoints inside.
+	if !segmentHitsRect(geom.Seg(geom.Pt(-5, 5), geom.Pt(15, 5)), r) {
+		t.Error("through-segment missed")
+	}
+	// Touching one corner.
+	if !segmentHitsRect(geom.Seg(geom.Pt(10, 10), geom.Pt(20, 20)), r) {
+		t.Error("corner touch missed")
+	}
+	// Far away.
+	if segmentHitsRect(geom.Seg(geom.Pt(20, 20), geom.Pt(30, 30)), r) {
+		t.Error("distant segment hit")
+	}
+}

@@ -1,0 +1,136 @@
+package design
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdlroute/internal/geom"
+)
+
+// RandomSpec controls GenerateRandom.
+type RandomSpec struct {
+	// Seed drives all placement decisions; equal seeds give equal designs.
+	Seed int64
+	// Chips is the number of dies (2–9 sensible). Zero selects 3.
+	Chips int
+	// NetsPerChannel is the net count between each adjacent chip pair.
+	// Zero selects 12.
+	NetsPerChannel int
+	// WireLayers, zero selects 2.
+	WireLayers int
+}
+
+// GenerateRandom builds a randomized but always-valid design: chips on a
+// jittered grid, pads at random positions on facing edges, random pad
+// pairing (so crossing patterns vary), and a bump grid. Intended for
+// robustness and fuzz-style testing rather than benchmarking.
+func GenerateRandom(spec RandomSpec) (*Design, error) {
+	if spec.Chips == 0 {
+		spec.Chips = 3
+	}
+	if spec.NetsPerChannel == 0 {
+		spec.NetsPerChannel = 12
+	}
+	if spec.WireLayers == 0 {
+		spec.WireLayers = 2
+	}
+	if spec.Chips < 2 {
+		return nil, fmt.Errorf("design: random design needs ≥2 chips, got %d", spec.Chips)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	d := &Design{
+		Name:       fmt.Sprintf("random-%d", spec.Seed),
+		Rules:      DefaultRules(),
+		WireLayers: spec.WireLayers,
+	}
+
+	// Chips in a row with jittered sizes.
+	const (
+		baseW   = 900.0
+		baseH   = 900.0
+		channel = 380.0
+		margin  = 380.0
+	)
+	x := margin
+	maxH := 0.0
+	for i := 0; i < spec.Chips; i++ {
+		w := baseW * (0.8 + 0.4*rng.Float64())
+		h := baseH * (0.8 + 0.4*rng.Float64())
+		if h > maxH {
+			maxH = h
+		}
+		d.Chips = append(d.Chips, Chip{
+			Name:    fmt.Sprintf("c%d", i),
+			Outline: geom.R(x, margin, x+w, margin+h),
+		})
+		x += w + channel
+	}
+	d.Outline = geom.R(0, 0, x-channel+margin, 2*margin+maxH)
+
+	// Nets between adjacent chips with random pairing.
+	netID := 0
+	for pair := 0; pair+1 < spec.Chips; pair++ {
+		a, b := &d.Chips[pair], &d.Chips[pair+1]
+		n := spec.NetsPerChannel
+		// Random sorted pad offsets on each facing edge, min pitch apart.
+		ya := randomOffsets(rng, n, a.Outline.Min.Y, a.Outline.Max.Y, 2*d.Rules.Pitch())
+		yb := randomOffsets(rng, n, b.Outline.Min.Y, b.Outline.Max.Y, 2*d.Rules.Pitch())
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			pa := Pad{ID: len(d.IOPads), Net: netID, Chip: pair,
+				Pos: geom.Pt(a.Outline.Max.X, ya[i])}
+			d.IOPads = append(d.IOPads, pa)
+			pb := Pad{ID: len(d.IOPads), Net: netID, Chip: pair + 1,
+				Pos: geom.Pt(b.Outline.Min.X, yb[perm[i]])}
+			d.IOPads = append(d.IOPads, pb)
+			d.Nets = append(d.Nets, Net{
+				ID: netID, Name: fmt.Sprintf("n%d", netID),
+				Pins: [2]int{pa.ID, pb.ID},
+			})
+			netID++
+		}
+	}
+
+	// Sparse bump grid.
+	cols := 8 + rng.Intn(8)
+	rows := 6 + rng.Intn(6)
+	bm := margin / 2
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos := geom.Pt(
+				bm+float64(c)/float64(cols-1)*(d.Outline.W()-2*bm),
+				bm+float64(r)/float64(rows-1)*(d.Outline.H()-2*bm),
+			)
+			d.BumpPads = append(d.BumpPads, Pad{ID: len(d.BumpPads), Net: -1, Chip: -1, Pos: pos})
+		}
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("design: random design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// randomOffsets returns n sorted positions in (lo, hi) with at least minSep
+// between consecutive values.
+func randomOffsets(rng *rand.Rand, n int, lo, hi, minSep float64) []float64 {
+	span := hi - lo - float64(n+1)*minSep
+	if span < 0 {
+		span = 0
+	}
+	// Stick-breaking: n+1 random gaps.
+	gaps := make([]float64, n+1)
+	var sum float64
+	for i := range gaps {
+		gaps[i] = rng.Float64()
+		sum += gaps[i]
+	}
+	out := make([]float64, n)
+	pos := lo
+	for i := 0; i < n; i++ {
+		pos += minSep + gaps[i]/sum*span
+		out[i] = pos
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package detail
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"rdlroute/internal/rgraph"
+)
+
+// Access point adjustment (§III-B1).
+//
+// Every access point receives a movable range along its tile edge, bounded
+// by its sequence neighbours (plus the wire pitch) and by the edge's end
+// vias. Maximal runs of consecutive movable access points within one net
+// form partial nets; a max-heap processes the longest partial net first,
+// running a dynamic program over a fixed number of candidate positions per
+// access point to minimize the run's polyline length. After a run is
+// placed, only the ranges of access points adjacent on the affected edges
+// need updating (Fig. 10), giving the O(|Γ| lg |Γ|) bound of Theorem 1.
+
+// partialNet is a maximal run of movable access points of one net.
+type partialNet struct {
+	net        int
+	startElem  int // first elem index of the run within the chain
+	length     int // number of access points in the run
+	heapIdx    int
+	generation int // bumped when ranges change; stale entries are skipped
+}
+
+type pnHeap []*partialNet
+
+func (h pnHeap) Len() int           { return len(h) }
+func (h pnHeap) Less(i, j int) bool { return h[i].length > h[j].length }
+func (h pnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *pnHeap) Push(x interface{}) {
+	pn := x.(*partialNet)
+	pn.heapIdx = len(*h)
+	*h = append(*h, pn)
+}
+func (h *pnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// AdjustAccessPoints runs the full adjustment pass and returns the number of
+// partial nets processed.
+func (d *Detailer) AdjustAccessPoints() int {
+	d.refreshAllRanges()
+
+	// Build partial nets: maximal runs of movable APs per chain.
+	var h pnHeap
+	for net, ch := range d.Chains {
+		if ch == nil {
+			continue
+		}
+		i := 0
+		for i < len(ch.Elems) {
+			if ch.Elems[i].Kind != ElemAP || d.APs[ch.Elems[i].AP].Fixed {
+				i++
+				continue
+			}
+			j := i
+			for j < len(ch.Elems) && ch.Elems[j].Kind == ElemAP && !d.APs[ch.Elems[j].AP].Fixed {
+				j++
+			}
+			heap.Push(&h, &partialNet{net: net, startElem: i, length: j - i})
+			i = j
+		}
+	}
+
+	processed := 0
+	for h.Len() > 0 {
+		pn := heap.Pop(&h).(*partialNet)
+		if d.runDP(pn) {
+			processed++
+		}
+	}
+	return processed
+}
+
+// refreshAllRanges recomputes every access point's movable range from the
+// current neighbour positions and marks too-tight points fixed.
+func (d *Detailer) refreshAllRanges() {
+	for id := range d.G.Nodes {
+		node := d.G.Node(rgraph.NodeID(id))
+		if node.Kind != rgraph.EdgeNode {
+			continue
+		}
+		d.refreshEdgeRanges(rgraph.NodeID(id))
+	}
+}
+
+// refreshEdgeRanges recomputes the ranges of all access points on one edge
+// node from current positions.
+func (d *Detailer) refreshEdgeRanges(id rgraph.NodeID) {
+	node := d.G.Node(id)
+	seq := d.R.Sequences(id)
+	if len(seq) == 0 {
+		return
+	}
+	edgeLen := node.EndA.Dist(node.EndB)
+	if edgeLen <= 0 {
+		return
+	}
+	rules := d.G.Design.Rules
+	// Two adjacent access points d apart along the edge give wires crossing
+	// at incidence angle θ a perpendicular separation of d·sin(θ), so the
+	// spacing each pair needs is clearance / sin(θ) — the continuous form of
+	// the paper's perpendicular 3-segment pattern. The factor is clamped so
+	// nearly edge-parallel wires do not blow the requirement up unboundedly.
+	factor := make([]float64, len(seq))
+	for i, net := range seq {
+		factor[i] = d.incidenceFactor(id, net)
+	}
+	overConstrained := false
+	for i, net := range seq {
+		apIdx := d.apAt[apKey{id, net}]
+		ap := &d.APs[apIdx]
+		endMargin := (rules.ViaWidth/2 + rules.MinSpacing + d.G.Design.WidthOf(net)/2) / edgeLen
+		lo, hi := endMargin, 1-endMargin
+		if i > 0 {
+			prev := &d.APs[d.apAt[apKey{id, seq[i-1]}]]
+			sep := d.G.Design.Clearance(net, seq[i-1]) * math.Max(factor[i], factor[i-1]) / edgeLen
+			if v := prev.T + sep; v > lo {
+				lo = v
+			}
+		}
+		if i+1 < len(seq) {
+			next := &d.APs[d.apAt[apKey{id, seq[i+1]}]]
+			sep := d.G.Design.Clearance(net, seq[i+1]) * math.Max(factor[i], factor[i+1]) / edgeLen
+			if v := next.T - sep; v < hi {
+				hi = v
+			}
+		}
+		if lo > hi {
+			overConstrained = true
+			break
+		}
+		ap.Lo, ap.Hi = lo, hi
+		ap.T = clampf(ap.T, lo, hi)
+		if (hi-lo)*edgeLen < d.Opt.MinMovable {
+			ap.Fixed = true
+		}
+	}
+	if overConstrained {
+		d.packEdge(id, seq, edgeLen)
+	}
+}
+
+// packEdge is the over-constraint fallback: when the incidence-factored
+// ranges do not fit on the edge, the access points are packed from the edge
+// start at exact pairwise clearance (factor 1) — the densest legal layout —
+// and frozen. When even that does not fit, all separations are scaled down
+// proportionally (a best-effort layout whose residual violations the DRC
+// reports).
+func (d *Detailer) packEdge(id rgraph.NodeID, seq []int, edgeLen float64) {
+	rules := d.G.Design.Rules
+	m := len(seq)
+	sep := make([]float64, m+1) // sep[0]=start margin, sep[i]=gap before AP i, sep[m]=end margin
+	sep[0] = (rules.ViaWidth/2 + rules.MinSpacing + d.G.Design.WidthOf(seq[0])/2) / edgeLen
+	for i := 1; i < m; i++ {
+		sep[i] = d.G.Design.Clearance(seq[i-1], seq[i]) / edgeLen
+	}
+	sep[m] = (rules.ViaWidth/2 + rules.MinSpacing + d.G.Design.WidthOf(seq[m-1])/2) / edgeLen
+	total := 0.0
+	for _, s := range sep {
+		total += s
+	}
+	scale := 1.0
+	if total > 1 {
+		scale = 1 / total
+	}
+	// Distribute the slack (if any) evenly into the gaps.
+	slack := (1 - total*scale) / float64(m+1)
+	t := 0.0
+	for i := 0; i < m; i++ {
+		t += sep[i]*scale + slack
+		ap := &d.APs[d.apAt[apKey{id, seq[i]}]]
+		ap.T = clamp01(t)
+		ap.Lo, ap.Hi = ap.T, ap.T
+		ap.Fixed = true
+	}
+}
+
+// incidenceFactor returns 1/sin(θ) clamped to [1, 2.5], where θ is the
+// shallower of the two angles the net's wire makes with the edge at this
+// access point, estimated from the current chain neighbour positions.
+func (d *Detailer) incidenceFactor(id rgraph.NodeID, net int) float64 {
+	const maxFactor = 2.5
+	apIdx, ok := d.apAt[apKey{id, net}]
+	if !ok {
+		return maxFactor
+	}
+	ap := &d.APs[apIdx]
+	ch := d.Chains[net]
+	if ch == nil || ap.ElemIdx <= 0 || ap.ElemIdx+1 >= len(ch.Elems) {
+		return maxFactor
+	}
+	node := d.G.Node(id)
+	edgeDir := node.EndB.Sub(node.EndA).Unit()
+	here := d.Pos(apIdx)
+	worst := 1.0
+	for _, nb := range []int{ap.ElemIdx - 1, ap.ElemIdx + 1} {
+		dir := d.ElemPos(ch.Elems[nb]).Sub(here)
+		n := dir.Norm()
+		if n == 0 {
+			continue
+		}
+		sin := math.Abs(edgeDir.Cross(dir)) / n
+		f := maxFactor
+		if sin > 1/maxFactor {
+			f = 1 / sin
+		}
+		if f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// runDP optimizes one partial net with the dynamic program and updates the
+// neighbours' ranges afterwards. It reports whether any point moved.
+func (d *Detailer) runDP(pn *partialNet) bool {
+	ch := d.Chains[pn.net]
+	if ch == nil {
+		return false
+	}
+	C := d.Opt.Candidates
+
+	// Collect the run.
+	run := make([]int, 0, pn.length)
+	for e := pn.startElem; e < pn.startElem+pn.length && e < len(ch.Elems); e++ {
+		el := ch.Elems[e]
+		if el.Kind != ElemAP {
+			return false // chain corrupted; defensive
+		}
+		run = append(run, el.AP)
+	}
+	if len(run) == 0 {
+		return false
+	}
+
+	// Fixed anchors before and after the run.
+	startPos := d.anchorPos(ch, pn.startElem-1)
+	endPos := d.anchorPos(ch, pn.startElem+len(run))
+
+	// Candidate positions per AP: an even grid over the movable range plus
+	// the current position, so the DP can never pick a placement worse than
+	// what it already has.
+	cands := make([][]float64, len(run)) // parameter values
+	for i, apIdx := range run {
+		ap := &d.APs[apIdx]
+		if ap.Fixed || ap.Hi <= ap.Lo {
+			cands[i] = []float64{ap.T}
+			continue
+		}
+		cs := make([]float64, 0, C+1)
+		for c := 0; c < C; c++ {
+			cs = append(cs, ap.Lo+(ap.Hi-ap.Lo)*float64(c)/float64(C-1))
+		}
+		onGrid := false
+		for _, v := range cs {
+			if v == ap.T {
+				onGrid = true
+			}
+		}
+		if !onGrid {
+			cs = append(cs, ap.T)
+		}
+		cands[i] = cs
+	}
+
+	// DP over stages.
+	n := len(run)
+	cost := make([][]float64, n)
+	back := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+	}
+	posOf := func(i, c int) (x, y float64) {
+		node := d.G.Node(d.APs[run[i]].Node)
+		p := node.EndA.Lerp(node.EndB, cands[i][c])
+		return p.X, p.Y
+	}
+	for c := range cands[0] {
+		x, y := posOf(0, c)
+		cost[0][c] = hypot(x-startPos.X, y-startPos.Y)
+	}
+	for i := 1; i < n; i++ {
+		for c := range cands[i] {
+			bestC, bestV := -1, 0.0
+			x, y := posOf(i, c)
+			for p := range cands[i-1] {
+				px, py := posOf(i-1, p)
+				v := cost[i-1][p] + hypot(x-px, y-py)
+				if bestC == -1 || v < bestV {
+					bestC, bestV = p, v
+				}
+			}
+			cost[i][c] = bestV
+			back[i][c] = bestC
+		}
+	}
+	bestC, bestV := -1, 0.0
+	for c := range cands[n-1] {
+		x, y := posOf(n-1, c)
+		v := cost[n-1][c] + hypot(x-endPos.X, y-endPos.Y)
+		if bestC == -1 || v < bestV {
+			bestC, bestV = c, v
+		}
+	}
+
+	// Apply and fix the run.
+	moved := false
+	choice := make([]int, n)
+	choice[n-1] = bestC
+	for i := n - 1; i > 0; i-- {
+		choice[i-1] = back[i][choice[i]]
+	}
+	touched := make(map[rgraph.NodeID]bool)
+	for i, apIdx := range run {
+		ap := &d.APs[apIdx]
+		newT := cands[i][choice[i]]
+		if newT != ap.T {
+			moved = true
+		}
+		ap.T = newT
+		ap.Fixed = true
+		touched[ap.Node] = true
+	}
+	// Update the ranges of access points on the touched edges (the paper's
+	// single-traversal incremental update of Fig. 10). Sorted so the
+	// refresh order — which feeds back through neighbour positions into
+	// incidence factors — is deterministic.
+	ids := make([]rgraph.NodeID, 0, len(touched))
+	for id := range touched {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		d.refreshEdgeRanges(id)
+	}
+	return moved
+}
+
+// anchorPos returns the position of the chain element at index idx, or the
+// nearest existing element when idx is out of range (a partial net at a
+// chain end anchors on the terminal pin).
+func (d *Detailer) anchorPos(ch *Chain, idx int) (p struct{ X, Y float64 }) {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ch.Elems) {
+		idx = len(ch.Elems) - 1
+	}
+	pt := d.ElemPos(ch.Elems[idx])
+	p.X, p.Y = pt.X, pt.Y
+	return p
+}
+
+func clamp01(v float64) float64 { return clampf(v, 0, 1) }
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func hypot(dx, dy float64) float64 {
+	// math.Hypot guards against overflow we cannot hit at µm magnitudes;
+	// plain sqrt is faster in the DP inner loop.
+	return math.Sqrt(dx*dx + dy*dy)
+}

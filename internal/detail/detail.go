@@ -1,0 +1,219 @@
+package detail
+
+import (
+	"fmt"
+	"sort"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+)
+
+// Options tunes detailed routing.
+type Options struct {
+	// Candidates is the user-defined number of candidate positions per
+	// access point in the DP adjustment. Zero selects 9.
+	Candidates int
+	// MinMovable is the movable-range length (µm) below which an access
+	// point is classified fixed. Zero selects 2× the wire pitch (resolved
+	// at Run time).
+	MinMovable float64
+	// MaxFitIters bounds the tangent-construction iterations per passage.
+	// Zero selects 48.
+	MaxFitIters int
+	// Retries is how many times detailed routing re-runs tile routing with
+	// enlarged clearance after fit failures. Zero selects 2.
+	Retries int
+	// SkipAdjust disables the DP access-point adjustment (ablation): access
+	// points stay at their even initial distribution.
+	SkipAdjust bool
+}
+
+func (o Options) withDefaults(pitch float64) Options {
+	if o.Candidates == 0 {
+		o.Candidates = 9
+	}
+	if o.MinMovable == 0 {
+		o.MinMovable = 2 * pitch
+	}
+	if o.MaxFitIters == 0 {
+		o.MaxFitIters = 48
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	return o
+}
+
+// RouteSeg is one single-layer piece of a net's final geometry.
+type RouteSeg struct {
+	Layer int
+	Pl    geom.Polyline
+}
+
+// Route is the complete detailed route of one net.
+type Route struct {
+	Net  int
+	Segs []RouteSeg
+	// Vias are the via positions used by this net, paired with the upper
+	// wire layer index of each via.
+	Vias []ViaUse
+}
+
+// ViaUse records one via taken by a route.
+type ViaUse struct {
+	Pos        geom.Point
+	UpperLayer int
+}
+
+// Wirelength returns the total wire length of the route (vias excluded,
+// matching the paper's wirelength metric).
+func (r *Route) Wirelength() float64 {
+	var sum float64
+	for _, s := range r.Segs {
+		sum += s.Pl.Length()
+	}
+	return sum
+}
+
+// Result is the outcome of detailed routing.
+type Result struct {
+	// Routes holds one route per net ID; nil entries were not globally
+	// routed.
+	Routes []*Route
+	// Wirelength is the total over all routed nets.
+	Wirelength float64
+	// FitFailures counts passages whose fit routing could not clear all
+	// spacing violations within the iteration bound (after retries).
+	FitFailures int
+	// AdjustedPartialNets is the number of partial nets processed by the DP
+	// pass.
+	AdjustedPartialNets int
+
+	failedNets []int // net of each fit-failed passage (diagnostics)
+}
+
+// Run executes detailed routing for the guides committed in the global
+// router.
+func Run(r *global.Router, res *global.Result, opt Options) (*Result, error) {
+	d := &Detailer{
+		G:      r.G,
+		R:      r,
+		Opt:    opt.withDefaults(r.G.Design.Rules.Pitch()),
+		guides: res.Guides,
+	}
+	if err := d.buildChains(res.Guides); err != nil {
+		return nil, err
+	}
+	if !d.Opt.SkipAdjust {
+		d.processed = d.AdjustAccessPoints()
+	}
+
+	scale := 1.0
+	var hops map[hopKey]geom.Polyline
+	var failures []*tilePassage
+	for attempt := 0; ; attempt++ {
+		hops, failures = d.routeTiles(scale)
+		if len(failures) == 0 || attempt >= d.Opt.Retries {
+			break
+		}
+		// Enlarge the distance that needs to be kept and iterate (§III-B2b).
+		scale *= 1.15
+	}
+
+	out := &Result{
+		Routes:              make([]*Route, len(d.Chains)),
+		FitFailures:         len(failures),
+		AdjustedPartialNets: d.processed,
+	}
+	for _, f := range failures {
+		out.failedNets = append(out.failedNets, f.net)
+	}
+	for net, ch := range d.Chains {
+		if ch == nil {
+			continue
+		}
+		route, err := d.assemble(net, ch, hops)
+		if err != nil {
+			return nil, err
+		}
+		out.Routes[net] = route
+	}
+	out.Wirelength = PolishRoutes(out.Routes, r.G.Design)
+	return out, nil
+}
+
+// assemble stitches a net's per-hop polylines into per-layer segments.
+func (d *Detailer) assemble(net int, ch *Chain, hops map[hopKey]geom.Polyline) (*Route, error) {
+	route := &Route{Net: net}
+	guide := d.guideOf(net)
+	cur := geom.Polyline{}
+	curLayer := ch.Elems[0].Layer
+	flush := func() {
+		if len(cur) >= 2 {
+			route.Segs = append(route.Segs, RouteSeg{Layer: curLayer, Pl: cur.Simplify()})
+		}
+		cur = geom.Polyline{}
+	}
+	for i := 0; i+1 < len(ch.Elems); i++ {
+		link := d.G.Link(guide.Links[i])
+		if link.Kind == rgraph.CrossVia {
+			flush()
+			pos := d.ElemPos(ch.Elems[i])
+			up := ch.Elems[i].Layer
+			if ch.Elems[i+1].Layer < up {
+				up = ch.Elems[i+1].Layer
+			}
+			route.Vias = append(route.Vias, ViaUse{Pos: pos, UpperLayer: up})
+			curLayer = ch.Elems[i+1].Layer
+			continue
+		}
+		pl, ok := hops[hopKey{net, i}]
+		if !ok || len(pl) < 2 {
+			// No tile geometry (should not happen); fall back to the
+			// straight hop.
+			pl = geom.Polyline{d.ElemPos(ch.Elems[i]), d.ElemPos(ch.Elems[i+1])}
+		}
+		if len(cur) == 0 {
+			cur = append(cur, pl...)
+		} else {
+			if !cur[len(cur)-1].ApproxEq(pl[0]) {
+				return nil, fmt.Errorf("detail: net %d hop %d discontinuous", net, i)
+			}
+			cur = append(cur, pl[1:]...)
+		}
+	}
+	flush()
+	if len(route.Segs) == 0 {
+		return nil, fmt.Errorf("detail: net %d produced no geometry", net)
+	}
+	return route, nil
+}
+
+// SegmentsOnLayer returns all (net, polyline) pairs of one layer, sorted by
+// net ID. Used by DRC and rendering.
+func SegmentsOnLayer(routes []*Route, layer int) []RouteOnLayer {
+	var out []RouteOnLayer
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, s := range rt.Segs {
+			if s.Layer == layer {
+				out = append(out, RouteOnLayer{Net: rt.Net, Pl: s.Pl})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Net < out[j].Net })
+	return out
+}
+
+// RouteOnLayer pairs a net with one of its single-layer polylines.
+type RouteOnLayer struct {
+	Net int
+	Pl  geom.Polyline
+}
+
+// FailedHops returns the net ID of every fit-failed passage of the last
+// run, one entry per failed hop. Diagnostic helper.
+func (r *Result) FailedHops() []int { return r.failedNets }

@@ -1,0 +1,232 @@
+package detail
+
+import (
+	"fmt"
+	"math"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Design-rule checking over finished detailed routes. A uniform spatial hash
+// buckets wire segments per layer so the pairwise spacing check only visits
+// nearby candidates.
+
+// Violation describes one design-rule violation.
+type Violation struct {
+	Kind  ViolationKind
+	Layer int
+	NetA  int
+	// NetB is the other net for spacing violations, -1 otherwise.
+	NetB int
+	// Where locates the violation.
+	Where geom.Point
+	// Value is the measured quantity (distance in µm, angle in radians).
+	Value float64
+	// Limit is the rule bound the value transgressed.
+	Limit float64
+}
+
+// ViolationKind classifies design-rule violations.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	// SpacingViolation: two different nets closer than w_w + w_s
+	// (centre-to-centre).
+	SpacingViolation ViolationKind = iota
+	// AngleViolation: a turn sharper than 90° (interior angle below 90°).
+	AngleViolation
+	// TurnDistViolation: two successive turns closer than w_x.
+	TurnDistViolation
+	// ObstacleViolation: a wire enters a keep-out region of its layer.
+	ObstacleViolation
+)
+
+// String returns a short name for the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case SpacingViolation:
+		return "spacing"
+	case AngleViolation:
+		return "angle"
+	case ObstacleViolation:
+		return "obstacle"
+	default:
+		return "turn-distance"
+	}
+}
+
+// String formats a violation for logs.
+func (v Violation) String() string {
+	switch v.Kind {
+	case SpacingViolation:
+		return fmt.Sprintf("spacing: nets %d/%d on layer %d at %v: %.3f < %.3f",
+			v.NetA, v.NetB, v.Layer, v.Where, v.Value, v.Limit)
+	case AngleViolation:
+		return fmt.Sprintf("angle: net %d on layer %d at %v: turn %.1f° > 90°",
+			v.NetA, v.Layer, v.Where, v.Value*180/math.Pi)
+	case ObstacleViolation:
+		return fmt.Sprintf("obstacle: net %d on layer %d enters keep-out at %v",
+			v.NetA, v.Layer, v.Where)
+	default:
+		return fmt.Sprintf("turn-distance: net %d on layer %d at %v: %.3f < %.3f",
+			v.NetA, v.Layer, v.Where, v.Value, v.Limit)
+	}
+}
+
+// CheckDRC verifies all three §II-B wire rules over the routes and returns
+// every violation found (spacing is reported once per offending segment
+// pair). The epsilon loosens comparisons to ignore float-level noise from
+// the tangent constructions. Nets are treated as electrically distinct; use
+// CheckDRCWithDesign for group-aware (multi-pin) checking.
+func CheckDRC(routes []*Route, rules design.Rules, layers int) []Violation {
+	return checkDRCGrouped(routes, rules, layers,
+		func(a, b int) bool { return a == b },
+		func(a, b int) float64 { return rules.Pitch() })
+}
+
+// checkDRCGrouped is CheckDRC with configurable same-net and pairwise
+// clearance predicates (multi-pin groups, per-net widths).
+func checkDRCGrouped(routes []*Route, rules design.Rules, layers int,
+	sameNet func(a, b int) bool, clearFn func(a, b int) float64) []Violation {
+	const eps = 1e-6
+	var out []Violation
+	clearance := rules.Pitch()
+
+	for layer := 0; layer < layers; layer++ {
+		segs := SegmentsOnLayer(routes, layer)
+		// Spatial hash over segments.
+		cell := math.Max(clearance*8, 50)
+		type entry struct {
+			net int
+			seg geom.Segment
+		}
+		grid := make(map[[2]int][]entry)
+		keyOf := func(p geom.Point) [2]int {
+			return [2]int{int(math.Floor(p.X / cell)), int(math.Floor(p.Y / cell))}
+		}
+		insert := func(net int, s geom.Segment) {
+			k0 := keyOf(s.A)
+			k1 := keyOf(s.B)
+			for x := minInt(k0[0], k1[0]); x <= maxInt(k0[0], k1[0]); x++ {
+				for y := minInt(k0[1], k1[1]); y <= maxInt(k0[1], k1[1]); y++ {
+					grid[[2]int{x, y}] = append(grid[[2]int{x, y}], entry{net, s})
+				}
+			}
+		}
+		for _, rl := range segs {
+			for _, s := range rl.Pl.Segments() {
+				insert(rl.Net, s)
+			}
+		}
+		// Pairwise spacing within neighbouring cells.
+		seen := make(map[[4]float64]bool)
+		for _, rl := range segs {
+			for _, s := range rl.Pl.Segments() {
+				k0 := keyOf(s.A)
+				k1 := keyOf(s.B)
+				for x := minInt(k0[0], k1[0]) - 1; x <= maxInt(k0[0], k1[0])+1; x++ {
+					for y := minInt(k0[1], k1[1]) - 1; y <= maxInt(k0[1], k1[1])+1; y++ {
+						for _, e := range grid[[2]int{x, y}] {
+							if e.net <= rl.Net || sameNet(e.net, rl.Net) {
+								continue // each unordered pair once, skip same net
+							}
+							limit := clearFn(rl.Net, e.net)
+							dist, pa, _ := s.DistToSegment(e.seg)
+							if dist >= limit-eps {
+								continue
+							}
+							sig := [4]float64{pa.X, pa.Y, float64(rl.Net), float64(e.net)}
+							if seen[sig] {
+								continue
+							}
+							seen[sig] = true
+							out = append(out, Violation{
+								Kind: SpacingViolation, Layer: layer,
+								NetA: rl.Net, NetB: e.net, Where: pa,
+								Value: dist, Limit: limit,
+							})
+						}
+					}
+				}
+			}
+		}
+		// Per-net angle and turn-distance rules.
+		for _, rl := range segs {
+			pl := rl.Pl
+			for i := 1; i+1 < len(pl); i++ {
+				turn := geom.TurnAngle(pl[i-1], pl[i], pl[i+1])
+				if turn > math.Pi/2+1e-6 {
+					out = append(out, Violation{
+						Kind: AngleViolation, Layer: layer, NetA: rl.Net, NetB: -1,
+						Where: pl[i], Value: turn, Limit: math.Pi / 2,
+					})
+				}
+			}
+			for i := 2; i+1 < len(pl); i++ {
+				d := pl[i-1].Dist(pl[i])
+				if d < rules.MinTurnDist-eps {
+					out = append(out, Violation{
+						Kind: TurnDistViolation, Layer: layer, NetA: rl.Net, NetB: -1,
+						Where: pl[i], Value: d, Limit: rules.MinTurnDist,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckDRCWithDesign runs the rule checks with group-aware same-net
+// semantics (multi-pin subnets carry no spacing rule between each other)
+// and additionally verifies that no wire enters any of the design's
+// keep-out regions.
+func CheckDRCWithDesign(routes []*Route, d *design.Design) []Violation {
+	out := checkDRCGrouped(routes, d.Rules, d.WireLayers, d.SameGroup, d.Clearance)
+	if len(d.Obstacles) == 0 {
+		return out
+	}
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, seg := range rt.Segs {
+			for _, s := range seg.Pl.Segments() {
+				if d.SegmentBlocked(s, seg.Layer, 0) {
+					out = append(out, Violation{
+						Kind: ObstacleViolation, Layer: seg.Layer,
+						NetA: rt.Net, NetB: -1, Where: s.Mid(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NetsWithViolations returns the set of net IDs involved in any violation.
+func NetsWithViolations(vs []Violation) map[int]bool {
+	out := make(map[int]bool)
+	for _, v := range vs {
+		out[v.NetA] = true
+		if v.NetB >= 0 {
+			out[v.NetB] = true
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package detail
+
+import (
+	"math"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Post-assembly polishing. The graph sometimes forces a guide to touch a
+// tile edge and bounce back (the corner-exit pattern v → edge → adjacent
+// edge), and the tangent construction can leave micro-jogs. Both appear in
+// the final geometry as interior vertices with reflex turns or as turn
+// pairs closer than the minimum turn-to-turn distance w_x. Removing such a
+// vertex replaces two segments by their chord, which by the triangle
+// inequality only shortens the wire — but the chord may cut into another
+// net's clearance, so every removal is validated against the current
+// geometry of all other nets before it is accepted.
+
+// spikeTurn is the turn angle above which an interior vertex is treated as
+// a spike/jog artifact rather than a deliberate detour apex (tangent detour
+// apexes stay well below 90°).
+const spikeTurn = 91 * math.Pi / 180
+
+// polisher validates vertex removals against the evolving geometry of all
+// routes and the design's keep-out regions.
+type polisher struct {
+	d     *design.Design
+	rules design.Rules
+	// layerSegs[layer] holds the current segments of every net.
+	layerSegs map[int][]netSeg
+	// layerVias[layer] holds the vias touching each wire layer (fixed).
+	layerVias map[int][]netVia
+}
+
+type netSeg struct {
+	net int
+	seg geom.Segment
+}
+
+type netVia struct {
+	net int
+	pos geom.Point
+}
+
+func newPolisher(routes []*Route, d *design.Design) *polisher {
+	p := &polisher{
+		d: d, rules: d.Rules,
+		layerSegs: make(map[int][]netSeg),
+		layerVias: make(map[int][]netVia),
+	}
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, s := range rt.Segs {
+			for _, sg := range s.Pl.Segments() {
+				p.layerSegs[s.Layer] = append(p.layerSegs[s.Layer], netSeg{rt.Net, sg})
+			}
+		}
+		for _, v := range rt.Vias {
+			// A via touches the wire layers above and below it.
+			p.layerVias[v.UpperLayer] = append(p.layerVias[v.UpperLayer], netVia{rt.Net, v.Pos})
+			p.layerVias[v.UpperLayer+1] = append(p.layerVias[v.UpperLayer+1], netVia{rt.Net, v.Pos})
+		}
+	}
+	return p
+}
+
+// chordOK reports whether replacing the two original segments with the
+// chord keeps clearance to every other net's wires and vias on the layer
+// and stays out of keep-outs. A pre-existing shortfall does not block a
+// removal as long as the chord comes no closer than the original path did.
+func (p *polisher) chordOK(chord, orig1, orig2 geom.Segment, layer, net int) bool {
+	if p.d.SegmentBlocked(chord, layer, 0) {
+		return false
+	}
+	for _, ns := range p.layerSegs[layer] {
+		if p.d.SameGroup(ns.net, net) {
+			continue
+		}
+		d, _, _ := chord.DistToSegment(ns.seg)
+		limit := p.d.Clearance(net, ns.net)
+		if d >= limit-1e-9 {
+			continue
+		}
+		d1, _, _ := orig1.DistToSegment(ns.seg)
+		d2, _, _ := orig2.DistToSegment(ns.seg)
+		if d < math.Min(d1, d2)-1e-9 {
+			return false
+		}
+	}
+	for _, nv := range p.layerVias[layer] {
+		if p.d.SameGroup(nv.net, net) {
+			continue
+		}
+		limit := p.rules.ViaWidth/2 + p.rules.MinSpacing + p.d.WidthOf(net)/2
+		d := chord.DistToPoint(nv.pos)
+		if d >= limit-1e-9 {
+			continue
+		}
+		orig := math.Min(orig1.DistToPoint(nv.pos), orig2.DistToPoint(nv.pos))
+		if d < orig-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// refresh replaces the stored segments of one net on one layer.
+func (p *polisher) refresh(routes []*Route, layer int) {
+	segs := p.layerSegs[layer][:0]
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, s := range rt.Segs {
+			if s.Layer != layer {
+				continue
+			}
+			for _, sg := range s.Pl.Segments() {
+				segs = append(segs, netSeg{rt.Net, sg})
+			}
+		}
+	}
+	p.layerSegs[layer] = segs
+}
+
+// polishPolyline removes spike vertices and merges turn pairs closer than
+// w_x, iterating both passes to a fixpoint. Every removal is validated with
+// ok (which may be nil for unconditional polishing, used in tests).
+func polishPolyline(pl geom.Polyline, rules design.Rules, ok func(chord, orig1, orig2 geom.Segment) bool) geom.Polyline {
+	pl = pl.Simplify()
+	accept := func(i int) bool {
+		if ok == nil {
+			return true
+		}
+		return ok(geom.Seg(pl[i-1], pl[i+1]), geom.Seg(pl[i-1], pl[i]), geom.Seg(pl[i], pl[i+1]))
+	}
+	blocked := make(map[geom.Point]bool)
+	for rounds := 0; rounds < 128; rounds++ {
+		changed := false
+		// Drop reflex spikes.
+		for i := 1; i+1 < len(pl); i++ {
+			if blocked[pl[i]] {
+				continue
+			}
+			if geom.TurnAngle(pl[i-1], pl[i], pl[i+1]) > spikeTurn {
+				if !accept(i) {
+					blocked[pl[i]] = true
+					continue
+				}
+				pl = append(pl[:i], pl[i+1:]...)
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			// Merge successive turns violating the w_x rule: drop the
+			// vertex with the smaller turn (the gentler kink loses less
+			// shape).
+			for i := 1; i+2 < len(pl); i++ {
+				if pl[i].Dist(pl[i+1]) >= rules.MinTurnDist {
+					continue
+				}
+				t1 := geom.TurnAngle(pl[i-1], pl[i], pl[i+1])
+				t2 := geom.TurnAngle(pl[i], pl[i+1], pl[min(i+2, len(pl)-1)])
+				drop := i
+				if t2 < t1 {
+					drop = i + 1
+				}
+				if blocked[pl[drop]] {
+					continue
+				}
+				if !accept(drop) {
+					blocked[pl[drop]] = true
+					continue
+				}
+				pl = append(pl[:drop], pl[drop+1:]...)
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return pl.Simplify()
+}
+
+// PolishRoutes cleans every route in place, validating each vertex removal
+// against all other nets' current geometry and the design's keep-outs, and
+// returns the total wirelength after polishing.
+func PolishRoutes(routes []*Route, d *design.Design) float64 {
+	p := newPolisher(routes, d)
+	rules := d.Rules
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for i := range rt.Segs {
+			layer := rt.Segs[i].Layer
+			net := rt.Net
+			cleaned := polishPolyline(rt.Segs[i].Pl, rules, func(chord, o1, o2 geom.Segment) bool {
+				return p.chordOK(chord, o1, o2, layer, net)
+			})
+			if len(cleaned) != len(rt.Segs[i].Pl) {
+				rt.Segs[i].Pl = cleaned
+				p.refresh(routes, layer)
+			}
+		}
+	}
+	var total float64
+	for _, rt := range routes {
+		if rt != nil {
+			total += rt.Wirelength()
+		}
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

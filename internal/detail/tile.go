@@ -1,0 +1,409 @@
+package detail
+
+import (
+	"sort"
+
+	"rdlroute/internal/dt"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// Tile routing (§III-B2).
+//
+// Within each tile the guides become geometry: every consecutive chain pair
+// whose link lies in the tile is a passage between two boundary points.
+// Passages are grouped by the tile corner they wrap (cross-tile passages) or
+// start from (access-via passages), corners are processed in a fixed
+// clockwise order, and within each corner passages route from innermost to
+// outermost. Fit routing resolves spacing violations against already-routed
+// wires by the tangent-line construction of Fig. 12: find the constraint
+// circle at the violating point, replace the straight segment by the two
+// tangents through source and target, iterate.
+
+// tilePassage is one chain hop to be realized inside a tile.
+type tilePassage struct {
+	net      int
+	chainIdx int // index of the first of the two chain elements
+	corner   int // mesh vertex index the passage wraps / starts at, or -1
+	// cornerDist orders passages within their corner group, innermost
+	// first.
+	cornerDist float64
+	route      geom.Polyline
+	failed     bool
+}
+
+// tileJob collects the passages of one tile.
+type tileJob struct {
+	key      tileKeyD
+	passages []*tilePassage
+}
+
+type tileKeyD struct{ layer, tri int }
+
+// netPoints pairs a net with obstacle points, in deterministic slices.
+type netPoints struct {
+	net int
+	pts []geom.Point
+}
+
+// routeTiles performs tile routing over all tiles and stores the resulting
+// polylines back into the passages, returning them grouped per net hop. The
+// scale parameter multiplies every pairwise clearance (>1 on retries).
+func (d *Detailer) routeTiles(scale float64) (map[hopKey]geom.Polyline, []*tilePassage) {
+	jobs := make(map[tileKeyD]*tileJob)
+	for net, ch := range d.Chains {
+		if ch == nil {
+			continue
+		}
+		guide := d.guideOf(net)
+		if guide == nil {
+			continue
+		}
+		for i, l := range guide.Links {
+			link := d.G.Link(l)
+			if link.Kind == rgraph.CrossVia {
+				continue
+			}
+			key := tileKeyD{link.Layer, link.Tile}
+			job := jobs[key]
+			if job == nil {
+				job = &tileJob{key: key}
+				jobs[key] = job
+			}
+			p := &tilePassage{net: net, chainIdx: i, corner: link.Corner}
+			job.passages = append(job.passages, p)
+		}
+	}
+
+	var failures []*tilePassage
+	out := make(map[hopKey]geom.Polyline)
+	// Deterministic tile order.
+	keys := make([]tileKeyD, 0, len(jobs))
+	for k := range jobs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].layer != keys[b].layer {
+			return keys[a].layer < keys[b].layer
+		}
+		return keys[a].tri < keys[b].tri
+	})
+	for _, k := range keys {
+		job := jobs[k]
+		d.routeOneTile(job, scale)
+		for _, p := range job.passages {
+			out[hopKey{p.net, p.chainIdx}] = p.route
+			if p.failed {
+				failures = append(failures, p)
+			}
+		}
+	}
+	return out, failures
+}
+
+// hopKey identifies one chain hop of one net.
+type hopKey struct {
+	net      int
+	chainIdx int
+}
+
+// guideOf returns the committed guide of a net (or nil).
+func (d *Detailer) guideOf(net int) *global.Guide {
+	return d.guides[net]
+}
+
+// routeOneTile routes all passages of one tile.
+func (d *Detailer) routeOneTile(job *tileJob, scale float64) {
+	tile := d.G.TileOf(job.key.layer, job.key.tri)
+	mesh := d.G.Layers[job.key.layer].Mesh
+
+	// Endpoint positions for each passage.
+	ends := func(p *tilePassage) (geom.Point, geom.Point) {
+		ch := d.Chains[p.net]
+		return d.ElemPos(ch.Elems[p.chainIdx]), d.ElemPos(ch.Elems[p.chainIdx+1])
+	}
+
+	// Order: group by corner, corners in clockwise order (descending vertex
+	// ordinal works on CCW triangles), innermost passage first.
+	for _, p := range job.passages {
+		a, b := ends(p)
+		if p.corner >= 0 {
+			c := mesh.Points[p.corner]
+			p.cornerDist = a.Dist(c) + b.Dist(c)
+		}
+	}
+	sort.SliceStable(job.passages, func(i, j int) bool {
+		pi, pj := job.passages[i], job.passages[j]
+		oi := vertexOrd(tile, pi.corner)
+		oj := vertexOrd(tile, pj.corner)
+		if oi != oj {
+			return oi > oj // clockwise corner order on a CCW triangle
+		}
+		return pi.cornerDist < pj.cornerDist
+	})
+
+	// Hard obstacles: the discs of the tile's corner vertices that carry
+	// metal (vias, pins, bumps). Radii stored WITHOUT the passing wire's
+	// half width, which is added per passage in fitRoute.
+	rules := d.G.Design.Rules
+	var discs []geom.Circle
+	for i := 0; i < 3; i++ {
+		vn := d.G.Node(tile.ViaNodes[i])
+		if vn.VertKind == viaplan.KindDummy {
+			continue
+		}
+		r := rules.ViaWidth/2 + rules.MinSpacing
+		discs = append(discs, geom.Circ(mesh.Points[tile.Verts[i]], r))
+	}
+	// Soft obstacles: every passage's access points. Earlier-routed wires
+	// must keep clearance from later passages' fixed entry points, or those
+	// passages start inside a violation they cannot resolve. Kept as a
+	// net-sorted slice so the violation resolution order — and with it the
+	// exact geometry — is deterministic.
+	apByNet := make(map[int][]geom.Point)
+	for _, p := range job.passages {
+		ch := d.Chains[p.net]
+		for _, ei := range []int{p.chainIdx, p.chainIdx + 1} {
+			if ch.Elems[ei].Kind != ElemAP {
+				continue
+			}
+			apByNet[p.net] = append(apByNet[p.net], d.ElemPos(ch.Elems[ei]))
+		}
+	}
+	apNets := make([]int, 0, len(apByNet))
+	for net := range apByNet {
+		apNets = append(apNets, net)
+	}
+	sort.Ints(apNets)
+	apObstacles := make([]netPoints, 0, len(apNets))
+	for _, net := range apNets {
+		apObstacles = append(apObstacles, netPoints{net: net, pts: apByNet[net]})
+	}
+
+	tri := [3]geom.Point{
+		mesh.Points[tile.Verts[0]],
+		mesh.Points[tile.Verts[1]],
+		mesh.Points[tile.Verts[2]],
+	}
+	var routed []*tilePassage
+	for _, p := range job.passages {
+		a, b := ends(p)
+		ref := d.refPoint(tile, mesh, p, a, b)
+		// The 3-segment pattern: through-traffic enters and leaves the tile
+		// perpendicular to the tile edge so that adjacent access points at
+		// pitch spacing along the edge keep full wire clearance where the
+		// wires cross the edge, regardless of the chord's obliqueness.
+		// Tight corner wraps skip the stub (a perpendicular entry would
+		// force a >90° turn); their clearance comes from the fit
+		// construction instead.
+		ia := d.stubEnd(tile, mesh, p, p.chainIdx, a, b)
+		ib := d.stubEnd(tile, mesh, p, p.chainIdx+1, b, a)
+		mid := d.fitRoute(ia, ib, ref, p, routed, discs, apObstacles, scale, tri)
+		var full geom.Polyline
+		if !ia.ApproxEq(a) {
+			full = append(full, a)
+		}
+		full = append(full, mid...)
+		if !ib.ApproxEq(b) {
+			full = append(full, b)
+		}
+		p.route = full.Simplify()
+		routed = append(routed, p)
+	}
+}
+
+// stubEnd returns the inner end of the perpendicular entry stub for the
+// chain element at elemIdx of the passage's net, or the element position
+// itself when the element is not an access point (vias and pins fan out
+// freely), when the perpendicular entry would force a sharp turn toward the
+// passage's other endpoint, or when the stub would leave the tile.
+func (d *Detailer) stubEnd(tile *rgraph.Tile, mesh *dt.Mesh, p *tilePassage, elemIdx int, pos, other geom.Point) geom.Point {
+	ch := d.Chains[p.net]
+	el := ch.Elems[elemIdx]
+	if el.Kind != ElemAP {
+		return pos
+	}
+	node := d.G.Node(el.Node)
+	// Inward normal: perpendicular to the edge, toward the opposite vertex.
+	ord := -1
+	for i, en := range tile.EdgeNodes {
+		if en == el.Node {
+			ord = i
+		}
+	}
+	if ord == -1 {
+		return pos
+	}
+	opp := mesh.Points[tile.Verts[(ord+2)%3]]
+	n := node.EndB.Sub(node.EndA).Perp().Unit()
+	if n.Dot(opp.Sub(node.EndA)) < 0 {
+		n = n.Scale(-1)
+	}
+	// Through-traffic only: the continuation toward the other endpoint must
+	// not turn more than ~75° after the perpendicular entry.
+	chord := other.Sub(pos)
+	if chord.Norm() == 0 {
+		return pos
+	}
+	cos := n.Dot(chord.Unit())
+	if cos < 0.26 { // angle(n, chord) > ~75°
+		return pos
+	}
+	s := d.G.Design.Rules.Pitch()
+	for try := 0; try < 4; try++ {
+		cand := pos.Add(n.Scale(s))
+		if geom.PointInTriangle(cand,
+			mesh.Points[tile.Verts[0]], mesh.Points[tile.Verts[1]], mesh.Points[tile.Verts[2]]) {
+			return cand
+		}
+		s /= 2
+	}
+	return pos
+}
+
+// refPoint picks the reference the detour must bulge away from: the wrapped
+// corner when there is one, otherwise the tile centroid.
+func (d *Detailer) refPoint(tile *rgraph.Tile, mesh *dt.Mesh, p *tilePassage, a, b geom.Point) geom.Point {
+	if p.corner >= 0 {
+		return mesh.Points[p.corner]
+	}
+	return geom.Centroid(mesh.Points[tile.Verts[0]], mesh.Points[tile.Verts[1]], mesh.Points[tile.Verts[2]])
+}
+
+// fitRoute builds the polyline for one passage between the stub inner ends,
+// iteratively resolving spacing violations against previously routed
+// passages of other nets and the corner discs (Fig. 12 construction). An
+// unresolvable violation marks the passage failed.
+func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
+	routed []*tilePassage, discs []geom.Circle, apObs []netPoints,
+	scale float64, tri [3]geom.Point) geom.Polyline {
+
+	route := geom.Polyline{a, b}
+	const slack = 1e-9
+	selfHalf := d.G.Design.WidthOf(self.net) / 2
+	for iter := 0; iter < d.Opt.MaxFitIters; iter++ {
+		found, fixed := false, false
+		for si := 0; si+1 < len(route) && !fixed; si++ {
+			seg := geom.Seg(route[si], route[si+1])
+			// Corner discs.
+			for _, disc := range discs {
+				if disc.C.ApproxEq(a) || disc.C.ApproxEq(b) {
+					continue // the passage's own terminal via/pin
+				}
+				eff := geom.Circ(disc.C, (disc.R+selfHalf)*scale)
+				if !eff.IntersectSegment(seg) {
+					continue
+				}
+				found = true
+				if d.resolveViolation(&route, si, eff, ref, tri) {
+					fixed = true
+					break
+				}
+			}
+			if fixed {
+				break
+			}
+			// Access points of the other passages in this tile.
+			for _, ob := range apObs {
+				if d.G.Design.SameGroup(ob.net, self.net) {
+					continue
+				}
+				clear := d.G.Design.Clearance(self.net, ob.net) * scale
+				for _, pt := range ob.pts {
+					disc := geom.Circ(pt, clear)
+					if !disc.IntersectSegment(seg) {
+						continue
+					}
+					found = true
+					if d.resolveViolation(&route, si, disc, ref, tri) {
+						fixed = true
+						break
+					}
+				}
+				if fixed {
+					break
+				}
+			}
+			if fixed {
+				break
+			}
+			// Previously routed passages of other nets (same-group wires
+			// are the same electrical net and carry no spacing rule).
+			for _, other := range routed {
+				if len(other.route) < 2 || d.G.Design.SameGroup(other.net, self.net) {
+					continue
+				}
+				clear := d.G.Design.Clearance(self.net, other.net) * scale
+				dist, pc := other.route.DistToSegment(seg)
+				if dist >= clear-slack {
+					continue
+				}
+				found = true
+				if d.resolveViolation(&route, si, geom.Circ(pc, clear), ref, tri) {
+					fixed = true
+					break
+				}
+			}
+		}
+		if !found {
+			return route.Simplify()
+		}
+		if !fixed {
+			// A violation exists but the tangent construction cannot clear
+			// it (an endpoint sits inside the constraint circle).
+			self.failed = true
+			return route.Simplify()
+		}
+	}
+	self.failed = true
+	return route.Simplify()
+}
+
+// resolveViolation replaces segment si of the route with the two tangents of
+// the constraint circle (Fig. 12), inserting the tangent intersection point.
+// The detour bulges toward the side of the obstacle the segment already runs
+// on, so it can never flip across the violated route. It reports whether the
+// route changed.
+func (d *Detailer) resolveViolation(route *geom.Polyline, si int, c geom.Circle, ref geom.Point, tri [3]geom.Point) bool {
+	ps, pt := (*route)[si], (*route)[si+1]
+	// Bulge away from the obstacle toward the segment's current side; when
+	// the segment passes (nearly) through the centre, fall back to bulging
+	// away from the passage's reference point.
+	q := geom.Seg(ps, pt).ClosestPoint(c.C)
+	away := q.Sub(c.C)
+	sideRef := ref
+	if away.Norm() > 1e-9 {
+		sideRef = c.C.Sub(away)
+	}
+	// Grow the circle fractionally so the tangent segments clear it beyond
+	// float noise.
+	cc := geom.Circ(c.C, c.R*1.0001)
+	i, ok := cc.TangentIntersection(ps, pt, sideRef)
+	if !ok {
+		return false
+	}
+	if i.ApproxEq(ps) || i.ApproxEq(pt) {
+		return false
+	}
+	// The apex must stay inside the tile: an escaping detour would enter a
+	// neighbouring tile whose wires this fit never checks against.
+	if !geom.PointInTriangle(i, tri[0], tri[1], tri[2]) {
+		return false
+	}
+	*route = append((*route)[:si+1], append(geom.Polyline{i}, (*route)[si+1:]...)...)
+	return true
+}
+
+func vertexOrd(tile *rgraph.Tile, v int) int {
+	if v < 0 {
+		return -1
+	}
+	for i, tv := range tile.Verts {
+		if tv == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,295 @@
+package dt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rdlroute/internal/geom"
+)
+
+func TestTriangulateSquare(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10),
+	}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tris) != 2 {
+		t.Fatalf("square should triangulate into 2 triangles, got %d", len(m.Tris))
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Error(err)
+	}
+	if err := m.CheckTopology(); err != nil {
+		t.Error(err)
+	}
+	// The two triangles must share exactly one (diagonal) edge.
+	shared := 0
+	for _, ts := range m.edgeTris {
+		if ts[1] != -1 {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Errorf("shared edges = %d, want 1", shared)
+	}
+}
+
+func TestTriangulateWithInteriorPoint(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10),
+		geom.Pt(5, 5),
+	}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tris) != 4 {
+		t.Fatalf("got %d triangles, want 4", len(m.Tris))
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Error(err)
+	}
+	if err := m.CheckTopology(); err != nil {
+		t.Error(err)
+	}
+	// The interior point is incident to all 4 triangles.
+	if got := len(m.VertexTriangles(4)); got != 4 {
+		t.Errorf("interior vertex incident to %d triangles, want 4", got)
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate(nil); err != ErrTooFewPoints {
+		t.Errorf("nil input: err = %v", err)
+	}
+	if _, err := Triangulate([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}); err != ErrTooFewPoints {
+		t.Errorf("2 points: err = %v", err)
+	}
+	// Duplicates of the same point collapse below the minimum.
+	if _, err := Triangulate([]geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(1, 1)}); err != ErrTooFewPoints {
+		t.Errorf("duplicated 2 points: err = %v", err)
+	}
+	// Collinear points have no triangulation.
+	col := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+	if _, err := Triangulate(col); err != ErrAllCollinear {
+		t.Errorf("collinear: err = %v", err)
+	}
+}
+
+func TestTriangulateDuplicates(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 8),
+		geom.Pt(0, 0), // duplicate of input 0
+	}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) != 3 {
+		t.Errorf("deduped points = %d, want 3", len(m.Points))
+	}
+	if m.InputVertex[3] != m.InputVertex[0] {
+		t.Error("duplicate input must map to the same vertex")
+	}
+	if len(m.Tris) != 1 {
+		t.Errorf("triangles = %d, want 1", len(m.Tris))
+	}
+}
+
+func TestEulerFormula(t *testing.T) {
+	// For a triangulation of a point set whose hull has h vertices:
+	// triangles = 2n − h − 2, edges = 3n − h − 3.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(80)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		m, err := Triangulate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count hull vertices as boundary edges of the mesh (each hull
+		// vertex begins exactly one boundary edge); this includes points
+		// collinear on hull edges, which geom.ConvexHull drops.
+		h := 0
+		for _, ts := range m.edgeTris {
+			if ts[1] == -1 {
+				h++
+			}
+		}
+		nv := len(m.Points)
+		wantTris := 2*nv - h - 2
+		wantEdges := 3*nv - h - 3
+		if len(m.Tris) != wantTris {
+			t.Errorf("trial %d: triangles = %d, want %d (n=%d h=%d)", trial, len(m.Tris), wantTris, nv, h)
+		}
+		if got := len(m.Edges()); got != wantEdges {
+			t.Errorf("trial %d: edges = %d, want %d", trial, got, wantEdges)
+		}
+	}
+}
+
+func TestDelaunayPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(60)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*500, rng.Float64()*500)
+		}
+		m, err := Triangulate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckDelaunay(); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+		if err := m.CheckTopology(); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRegularGrid(t *testing.T) {
+	// Regular grids are the adversarial case: every 2x2 cell is exactly
+	// cocircular. The tolerant predicate must still produce a valid mesh.
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, geom.Pt(float64(i)*10, float64(j)*10))
+		}
+	}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTopology(); err != nil {
+		t.Fatal(err)
+	}
+	// Euler check (hull of an 8x8 grid has 28 boundary vertices).
+	wantTris := 2*64 - 28 - 2
+	if len(m.Tris) != wantTris {
+		t.Errorf("grid triangles = %d, want %d", len(m.Tris), wantTris)
+	}
+	// Total mesh area must equal the grid extent.
+	var area float64
+	for _, tri := range m.Tris {
+		area += math.Abs(geom.SignedArea2(m.Points[tri.V[0]], m.Points[tri.V[1]], m.Points[tri.V[2]])) / 2
+	}
+	if math.Abs(area-70*70) > 1e-6 {
+		t.Errorf("mesh area = %v, want 4900", area)
+	}
+}
+
+func TestPointOnEdgeInsertion(t *testing.T) {
+	// The fifth point lies exactly on the diagonal shared edge of the first
+	// four, exercising the on-edge cavity path.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10),
+		geom.Pt(5, 5), geom.Pt(2.5, 2.5),
+	}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTopology(); err != nil {
+		t.Error(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Error(err)
+	}
+	if len(m.Points) != 6 {
+		t.Errorf("points = %d, want 6", len(m.Points))
+	}
+}
+
+func TestEdgeQueriesAndOppositeVertex(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Edges() {
+		ts, ok := m.EdgeTriangles(e)
+		if !ok {
+			t.Fatalf("edge %v missing from incidence", e)
+		}
+		v, ok := m.OppositeVertex(ts[0], e)
+		if !ok {
+			t.Fatalf("OppositeVertex failed for %v", e)
+		}
+		if v == e.A || v == e.B {
+			t.Errorf("opposite vertex %d on the edge %v", v, e)
+		}
+	}
+	if _, ok := m.EdgeTriangles(MakeEdge(0, 99)); ok {
+		t.Error("nonexistent edge reported present")
+	}
+	if _, ok := m.OppositeVertex(0, MakeEdge(98, 99)); ok {
+		t.Error("OppositeVertex on foreign edge should fail")
+	}
+}
+
+func TestMakeEdgeNormalization(t *testing.T) {
+	if MakeEdge(5, 2) != (Edge{A: 2, B: 5}) {
+		t.Error("MakeEdge should order endpoints")
+	}
+	if MakeEdge(2, 5) != MakeEdge(5, 2) {
+		t.Error("MakeEdge not symmetric")
+	}
+}
+
+func TestFindTriangle(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti := m.FindTriangle(geom.Pt(5, 5)); ti == -1 {
+		t.Error("interior point not located")
+	}
+	if ti := m.FindTriangle(geom.Pt(50, 50)); ti != -1 {
+		t.Error("exterior point located inside hull")
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	// Tight clusters mimic via escape patterns around pads.
+	rng := rand.New(rand.NewSource(5))
+	var pts []geom.Point
+	for c := 0; c < 6; c++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		for i := 0; i < 15; i++ {
+			pts = append(pts, geom.Pt(cx+rng.Float64()*5, cy+rng.Float64()*5))
+		}
+	}
+	m, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckTopology(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunay(); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTriangulate1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*5000, rng.Float64()*5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Triangulate(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

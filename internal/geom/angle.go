@@ -1,0 +1,97 @@
+package geom
+
+import "math"
+
+// AngleAt returns the interior angle, in radians in [0, π], formed at vertex
+// v by the rays v→a and v→b. This is the ang(j) of Eq. 2 in the paper when v
+// is a tile corner and a, b are the adjacent corners. Degenerate inputs
+// (a or b coinciding with v) yield 0.
+func AngleAt(v, a, b Point) float64 {
+	u := a.Sub(v)
+	w := b.Sub(v)
+	nu, nw := u.Norm(), w.Norm()
+	if nu == 0 || nw == 0 {
+		return 0
+	}
+	cos := Clamp(u.Dot(w)/(nu*nw), -1, 1)
+	return math.Acos(cos)
+}
+
+// TurnAngle returns the angle, in radians in [0, π], by which the direction
+// of travel changes at vertex b on the path a→b→c. A straight continuation
+// has turn angle 0; a full reversal has turn angle π. The paper's minimum
+// angle constraint ("two connected segments can turn at any angle ≥ 90°")
+// is equivalent to TurnAngle ≤ π/2.
+func TurnAngle(a, b, c Point) float64 {
+	u := b.Sub(a)
+	w := c.Sub(b)
+	nu, nw := u.Norm(), w.Norm()
+	if nu == 0 || nw == 0 {
+		return 0
+	}
+	cos := Clamp(u.Dot(w)/(nu*nw), -1, 1)
+	return math.Acos(cos)
+}
+
+// Bisector returns the unit vector from v along the interior angle bisector
+// of the corner at v formed by rays v→a and v→b. For a degenerate corner it
+// falls back to the direction toward a.
+func Bisector(v, a, b Point) Point {
+	u := a.Sub(v).Unit()
+	w := b.Sub(v).Unit()
+	bis := u.Add(w)
+	if ApproxZero(bis.Norm2()) {
+		// Straight angle: bisector is perpendicular to either ray.
+		return u.Perp()
+	}
+	return bis.Unit()
+}
+
+// CornerEffectiveLength implements the effective length l(j) of Fig. 6(b) in
+// the paper: the corner at vertex v (between adjacent triangle vertices a
+// and b) is split into two sub-corners by its bisector, and the effective
+// length is the shorter of the two sub-corner bisector extents, where each
+// extent is measured from v along the sub-corner's own bisector to the
+// opposite triangle side (the segment a–b).
+//
+// Intuitively this measures how much wiring can squeeze diagonally past the
+// corner: a route hugging the corner crosses the sub-corner bisector, so the
+// number of routes is bounded by the extent divided by the wire pitch.
+func CornerEffectiveLength(v, a, b Point) float64 {
+	opp := Seg(a, b)
+	half := Bisector(v, a, b)
+	// Sub-corner 1 is bounded by ray v→a and the bisector; sub-corner 2 by
+	// the bisector and ray v→b. Each sub-corner's own bisector direction:
+	d1 := a.Sub(v).Unit().Add(half)
+	d2 := b.Sub(v).Unit().Add(half)
+	ext := func(dir Point) float64 {
+		if ApproxZero(dir.Norm2()) {
+			return 0
+		}
+		dir = dir.Unit()
+		// Cast the ray v + t·dir against the opposite side a–b.
+		hit, p := raySegment(v, dir, opp)
+		if !hit {
+			return 0
+		}
+		return v.Dist(p)
+	}
+	e1, e2 := ext(d1), ext(d2)
+	return math.Min(e1, e2)
+}
+
+// raySegment intersects the ray origin + t·dir (t ≥ 0) with segment s.
+func raySegment(origin, dir Point, s Segment) (bool, Point) {
+	d2 := s.B.Sub(s.A)
+	denom := dir.Cross(d2)
+	if ApproxZero(denom) {
+		return false, Point{}
+	}
+	diff := s.A.Sub(origin)
+	t := diff.Cross(d2) / denom
+	u := diff.Cross(dir) / denom
+	if t < -Eps || u < -Eps || u > 1+Eps {
+		return false, Point{}
+	}
+	return true, origin.Add(dir.Scale(t))
+}

@@ -1,0 +1,120 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAngleAt(t *testing.T) {
+	v := Pt(0, 0)
+	if a := AngleAt(v, Pt(1, 0), Pt(0, 1)); !ApproxEq(a, math.Pi/2) {
+		t.Errorf("right angle = %v", a)
+	}
+	if a := AngleAt(v, Pt(1, 0), Pt(-1, 0)); !ApproxEq(a, math.Pi) {
+		t.Errorf("straight angle = %v", a)
+	}
+	if a := AngleAt(v, Pt(1, 0), Pt(1, 0)); !ApproxEq(a, 0) {
+		t.Errorf("zero angle = %v", a)
+	}
+	// Equilateral triangle corner = 60°.
+	if a := AngleAt(Pt(0, 0), Pt(1, 0), Pt(0.5, math.Sqrt(3)/2)); math.Abs(a-math.Pi/3) > 1e-9 {
+		t.Errorf("equilateral angle = %v, want %v", a, math.Pi/3)
+	}
+	// Degenerate: coincident points.
+	if a := AngleAt(v, v, Pt(1, 0)); a != 0 {
+		t.Errorf("degenerate angle = %v", a)
+	}
+}
+
+func TestTurnAngle(t *testing.T) {
+	// Straight path: no turn.
+	if a := TurnAngle(Pt(0, 0), Pt(1, 0), Pt(2, 0)); !ApproxEq(a, 0) {
+		t.Errorf("straight turn = %v", a)
+	}
+	// 90° turn.
+	if a := TurnAngle(Pt(0, 0), Pt(1, 0), Pt(1, 1)); !ApproxEq(a, math.Pi/2) {
+		t.Errorf("right turn = %v", a)
+	}
+	// Full reversal.
+	if a := TurnAngle(Pt(0, 0), Pt(1, 0), Pt(0, 0)); !ApproxEq(a, math.Pi) {
+		t.Errorf("reversal = %v", a)
+	}
+}
+
+func TestBisector(t *testing.T) {
+	v := Pt(0, 0)
+	b := Bisector(v, Pt(1, 0), Pt(0, 1))
+	want := Pt(1, 1).Unit()
+	if !b.ApproxEq(want) {
+		t.Errorf("Bisector = %v, want %v", b, want)
+	}
+	// Straight corner: bisector perpendicular to the rays.
+	b = Bisector(v, Pt(1, 0), Pt(-1, 0))
+	if !ApproxZero(b.Dot(Pt(1, 0))) {
+		t.Errorf("straight-corner bisector %v not perpendicular", b)
+	}
+	if !ApproxEq(b.Norm(), 1) {
+		t.Errorf("bisector not unit: %v", b.Norm())
+	}
+}
+
+func TestCornerEffectiveLength(t *testing.T) {
+	// Right isoceles triangle, corner at the right angle. Legs of length 1.
+	v, a, b := Pt(0, 0), Pt(1, 0), Pt(0, 1)
+	l := CornerEffectiveLength(v, a, b)
+	if l <= 0 {
+		t.Fatalf("effective length must be positive, got %v", l)
+	}
+	// Any ray from v hitting the opposite side a–b does so at distance at
+	// most max(|va|, |vb|), so the effective length is bounded by that.
+	if l > math.Max(v.Dist(a), v.Dist(b))+Eps {
+		t.Errorf("effective length %v exceeds max corner-to-endpoint distance", l)
+	}
+	// Symmetric corner → both sub-corners identical → the two extents are
+	// equal; verify via a symmetric equilateral triangle.
+	ve, ae, be := Pt(0, 0), Pt(1, 0), Pt(0.5, math.Sqrt(3)/2)
+	le := CornerEffectiveLength(ve, ae, be)
+	if le <= 0 {
+		t.Errorf("equilateral effective length = %v", le)
+	}
+}
+
+// Property: corner effective length scales linearly with the triangle.
+func TestCornerEffectiveLengthScales(t *testing.T) {
+	f := func(ax, ay, bx, by, s float64) bool {
+		a, b := Pt(norm(ax), norm(ay)), Pt(norm(bx), norm(by))
+		v := Pt(0, 0)
+		if Orient(v, a, b) == Collinear || a.Dist(v) < 1e-3 || b.Dist(v) < 1e-3 {
+			return true
+		}
+		scale := math.Abs(norm(s))
+		if scale < 1e-2 {
+			return true
+		}
+		l1 := CornerEffectiveLength(v, a, b)
+		l2 := CornerEffectiveLength(v, a.Scale(scale), b.Scale(scale))
+		return math.Abs(l2-scale*l1) < 1e-6*(1+l2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the bisector makes equal angles with both rays.
+func TestBisectorEqualAngles(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(norm(ax), norm(ay)), Pt(norm(bx), norm(by))
+		v := Pt(0, 0)
+		if a.Dist(v) < 1e-3 || b.Dist(v) < 1e-3 || Orient(v, a, b) == Collinear {
+			return true
+		}
+		bis := Bisector(v, a, b)
+		a1 := AngleAt(v, a, v.Add(bis))
+		a2 := AngleAt(v, b, v.Add(bis))
+		return math.Abs(a1-a2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package geom
+
+import "math"
+
+// Arc is a circular arc on circle C from angle Start sweeping by Sweep
+// radians (positive = counterclockwise).
+type Arc struct {
+	C     Circle
+	Start float64
+	Sweep float64
+}
+
+// Length returns the arc length |Sweep| · R.
+func (a Arc) Length() float64 { return math.Abs(a.Sweep) * a.C.R }
+
+// PointAt returns the point at parameter t ∈ [0, 1] along the arc.
+func (a Arc) PointAt(t float64) Point {
+	theta := a.Start + t*a.Sweep
+	return a.C.C.Add(Pt(math.Cos(theta), math.Sin(theta)).Scale(a.C.R))
+}
+
+// Chord returns the straight-line distance between the arc endpoints.
+func (a Arc) Chord() float64 {
+	return a.PointAt(0).Dist(a.PointAt(1))
+}
+
+// OptimalWrapLength returns the length of the shortest path from a to b
+// that stays outside circle c: if the straight segment clears the circle it
+// is |ab|; otherwise it is the taut-string path tangent–arc–tangent of the
+// paper's Lemma 1 (segments off the boundary, arcs on it). It reports false
+// when either endpoint lies strictly inside the circle (no such path
+// exists).
+func OptimalWrapLength(a, b Point, c Circle) (float64, bool) {
+	da := a.Dist(c.C)
+	db := b.Dist(c.C)
+	if da < c.R-Eps || db < c.R-Eps {
+		return 0, false
+	}
+	if !c.IntersectSegment(Seg(a, b)) {
+		return a.Dist(b), true
+	}
+	// Tangent lengths from each endpoint.
+	ta := math.Sqrt(math.Max(0, da*da-c.R*c.R))
+	tb := math.Sqrt(math.Max(0, db*db-c.R*c.R))
+	// Central angle between a and b as seen from the circle center.
+	gamma := AngleAt(c.C, a, b)
+	// Angles consumed by the two tangent constructions.
+	alpha := math.Acos(Clamp(c.R/math.Max(da, c.R), -1, 1))
+	beta := math.Acos(Clamp(c.R/math.Max(db, c.R), -1, 1))
+	phi := gamma - alpha - beta
+	if phi < 0 {
+		phi = 0
+	}
+	return ta + tb + c.R*phi, true
+}
+
+// WrapApexLength returns the length of the two-tangent chord approximation
+// the fit-routing construction produces for a single constraint circle: the
+// path a → I → b where I is the intersection of the tangents from a and b
+// on the side away from ref. It reports false when the construction fails
+// (endpoint inside the circle or degenerate tangents).
+//
+// The approximation replaces the optimal arc by its tangent chords, so it
+// is always ≥ OptimalWrapLength and coincides with it as the wrap angle
+// approaches zero — the "good approximation of the optimal solution"
+// observation behind the paper's Theorem 2.
+func WrapApexLength(a, b Point, c Circle, ref Point) (float64, bool) {
+	i, ok := c.TangentIntersection(a, b, ref)
+	if !ok {
+		return 0, false
+	}
+	return a.Dist(i) + i.Dist(b), true
+}

@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestArcBasics(t *testing.T) {
+	a := Arc{C: Circ(Pt(0, 0), 2), Start: 0, Sweep: math.Pi}
+	if !ApproxEq(a.Length(), 2*math.Pi) {
+		t.Errorf("half-circle length = %v", a.Length())
+	}
+	if !a.PointAt(0).ApproxEq(Pt(2, 0)) {
+		t.Errorf("PointAt(0) = %v", a.PointAt(0))
+	}
+	if !a.PointAt(1).ApproxEq(Pt(-2, 0)) {
+		t.Errorf("PointAt(1) = %v", a.PointAt(1))
+	}
+	if !a.PointAt(0.5).ApproxEq(Pt(0, 2)) {
+		t.Errorf("PointAt(0.5) = %v", a.PointAt(0.5))
+	}
+	if !ApproxEq(a.Chord(), 4) {
+		t.Errorf("half-circle chord = %v", a.Chord())
+	}
+	// Negative sweep has the same length.
+	b := Arc{C: a.C, Start: 0, Sweep: -math.Pi}
+	if b.Length() != a.Length() {
+		t.Error("sweep sign changed arc length")
+	}
+}
+
+func TestOptimalWrapLengthClear(t *testing.T) {
+	// Segment clears the circle: the straight distance is optimal.
+	c := Circ(Pt(0, 5), 1)
+	l, ok := OptimalWrapLength(Pt(-10, 0), Pt(10, 0), c)
+	if !ok || !ApproxEq(l, 20) {
+		t.Errorf("clear path = %v, %v", l, ok)
+	}
+}
+
+func TestOptimalWrapLengthSymmetric(t *testing.T) {
+	// Classic configuration: wrap a unit circle centered between the
+	// endpoints. For a = (-d, 0), b = (d, 0), r = 1:
+	// length = 2·sqrt(d²−1) + φ with φ = π − 2·acos(1/d).
+	d := 3.0
+	c := Circ(Pt(0, 0), 1)
+	l, ok := OptimalWrapLength(Pt(-d, 0), Pt(d, 0), c)
+	if !ok {
+		t.Fatal("wrap failed")
+	}
+	want := 2*math.Sqrt(d*d-1) + (math.Pi - 2*math.Acos(1/d))
+	if math.Abs(l-want) > 1e-9 {
+		t.Errorf("wrap length = %v, want %v", l, want)
+	}
+	// And it must beat the naive over-the-top square detour.
+	if l >= 2*d+2 {
+		t.Error("taut path longer than crude detour")
+	}
+}
+
+func TestOptimalWrapLengthInterior(t *testing.T) {
+	c := Circ(Pt(0, 0), 2)
+	if _, ok := OptimalWrapLength(Pt(0.5, 0), Pt(5, 0), c); ok {
+		t.Error("interior endpoint must fail")
+	}
+}
+
+func TestWrapApexAtLeastOptimal(t *testing.T) {
+	c := Circ(Pt(0, 0), 1)
+	a, b := Pt(-3, 0), Pt(3, 0)
+	ref := Pt(0, -10)
+	opt, ok := OptimalWrapLength(a, b, c)
+	if !ok {
+		t.Fatal("optimal failed")
+	}
+	apex, ok := WrapApexLength(a, b, c, ref)
+	if !ok {
+		t.Fatal("apex failed")
+	}
+	if apex < opt-1e-9 {
+		t.Fatalf("chord approximation %v beat the optimum %v", apex, opt)
+	}
+	// For this moderate wrap the chord approximation stays within 5%.
+	if apex > opt*1.05 {
+		t.Errorf("apex %v too far above optimum %v", apex, opt)
+	}
+}
+
+// Property: over random legal configurations the fit-routing chord
+// approximation is bounded below by the taut-string optimum and above by a
+// modest constant factor (the Theorem 2 "good approximation" claim). The
+// factor 4/π ≈ 1.273 bounds the arc-to-tangent-chords ratio for wraps up to
+// a half circle, and the straight tangent legs only dilute it.
+func TestWrapApproximationRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 500; trial++ {
+		r := 0.5 + rng.Float64()*2
+		c := Circ(Pt(0, 0), r)
+		angA := rng.Float64() * 2 * math.Pi
+		angB := rng.Float64() * 2 * math.Pi
+		da := r * (1.05 + rng.Float64()*4)
+		db := r * (1.05 + rng.Float64()*4)
+		a := Pt(math.Cos(angA), math.Sin(angA)).Scale(da)
+		b := Pt(math.Cos(angB), math.Sin(angB)).Scale(db)
+		if !c.IntersectSegment(Seg(a, b)) {
+			continue // no wrap needed; nothing to compare
+		}
+		opt, ok := OptimalWrapLength(a, b, c)
+		if !ok {
+			continue
+		}
+		// The detour side: away from the segment's side of the center.
+		q := Seg(a, b).ClosestPoint(c.C)
+		away := q.Sub(c.C)
+		if ApproxZero(away.Norm()) {
+			continue
+		}
+		ref := c.C.Sub(away)
+		apex, ok := WrapApexLength(a, b, c, ref)
+		if !ok {
+			continue
+		}
+		checked++
+		if apex < opt-1e-6 {
+			t.Fatalf("trial %d: apex %v < optimum %v", trial, apex, opt)
+		}
+		if apex > opt*4/math.Pi+1e-6 {
+			t.Fatalf("trial %d: apex %v exceeds %v × 4/π", trial, apex, opt)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d wrap configurations checked", checked)
+	}
+}

@@ -1,0 +1,75 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the given points in counterclockwise
+// order, starting from the lexicographically smallest point. Collinear
+// points on hull edges are dropped. Inputs with fewer than three distinct
+// points return the distinct points in sorted order.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.ApproxEq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return append([]Point(nil), uniq...)
+	}
+	// Andrew's monotone chain.
+	var lower, upper []Point
+	for _, p := range uniq {
+		for len(lower) >= 2 && Orient(lower[len(lower)-2], lower[len(lower)-1], p) != CounterClockwise {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(uniq) - 1; i >= 0; i-- {
+		p := uniq[i]
+		for len(upper) >= 2 && Orient(upper[len(upper)-2], upper[len(upper)-1], p) != CounterClockwise {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}
+
+// PolygonArea returns the signed area of the polygon with the given vertex
+// loop (positive when counterclockwise). The loop must not repeat its first
+// vertex at the end.
+func PolygonArea(poly []Point) float64 {
+	var sum float64
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += poly[i].Cross(poly[j])
+	}
+	return sum / 2
+}
+
+// PointInConvexPolygon reports whether p lies inside or on the boundary of
+// the convex polygon given in counterclockwise order.
+func PointInConvexPolygon(p Point, poly []Point) bool {
+	n := len(poly)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if Orient(poly[i], poly[j], p) == Clockwise {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10), Pt(5, 5), Pt(3, 7)}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(h), h)
+	}
+	// CCW orientation.
+	if PolygonArea(h) <= 0 {
+		t.Error("hull should be counterclockwise")
+	}
+	if !ApproxEq(PolygonArea(h), 100) {
+		t.Errorf("hull area = %v, want 100", PolygonArea(h))
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Error("empty input should give nil hull")
+	}
+	h := ConvexHull([]Point{Pt(1, 1)})
+	if len(h) != 1 {
+		t.Errorf("single point hull = %v", h)
+	}
+	h = ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(2, 2)})
+	if len(h) != 2 {
+		t.Errorf("duplicate+collinear hull = %v", h)
+	}
+	// All collinear.
+	h = ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)})
+	if len(h) != 2 {
+		t.Errorf("collinear hull = %v", h)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := []Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}
+	if a := PolygonArea(sq); !ApproxEq(a, 16) {
+		t.Errorf("CCW square area = %v", a)
+	}
+	// Reverse → negative.
+	rev := []Point{Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0)}
+	if a := PolygonArea(rev); !ApproxEq(a, -16) {
+		t.Errorf("CW square area = %v", a)
+	}
+}
+
+func TestPointInConvexPolygon(t *testing.T) {
+	sq := []Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}
+	if !PointInConvexPolygon(Pt(2, 2), sq) {
+		t.Error("interior rejected")
+	}
+	if !PointInConvexPolygon(Pt(0, 2), sq) {
+		t.Error("boundary rejected")
+	}
+	if PointInConvexPolygon(Pt(5, 2), sq) {
+		t.Error("exterior accepted")
+	}
+	if PointInConvexPolygon(Pt(2, 2), sq[:2]) {
+		t.Error("degenerate polygon should contain nothing")
+	}
+}
+
+// Property: every input point lies inside or on the hull.
+func TestHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		for _, p := range pts {
+			if !PointInConvexPolygon(p, h) {
+				t.Fatalf("trial %d: point %v outside its own hull %v", trial, p, h)
+			}
+		}
+	}
+}
+
+// Property: the hull of the hull is the hull (idempotence).
+func TestHullIdempotent(t *testing.T) {
+	f := func(coords []float64) bool {
+		if len(coords) < 8 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, Pt(norm(coords[i]), norm(coords[i+1])))
+		}
+		h1 := ConvexHull(pts)
+		h2 := ConvexHull(h1)
+		return len(h1) == len(h2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package global
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// ErrUnroutable is wrapped by route errors when the crossing-aware A* cannot
+// reach the target within capacity and topology constraints.
+var ErrUnroutable = errors.New("global: net unroutable")
+
+// searchResult is an uncommitted guide: the node path, links, and the
+// sequence insertion gap chosen at every edge node.
+type searchResult struct {
+	net   int
+	nodes []rgraph.NodeID
+	links []int
+	gaps  []int
+}
+
+// stateKey identifies a crossing-aware search state. Edge-node states carry
+// the insertion gap in the node's net-sequence list (the paper's "record the
+// left and right guides next to the processing guide"); via-node states
+// carry whether the via was reached through a cross-via link, which
+// restricts how it may be left.
+type stateKey struct {
+	node      rgraph.NodeID
+	gap       int16
+	viaArrive bool
+}
+
+type searchState struct {
+	key    stateKey
+	g, f   float64
+	parent int // arena index of predecessor, -1 for start
+	link   int // link traversed to arrive, -1 for start
+}
+
+// stateHeap is a min-heap over arena indices ordered by f.
+type stateHeap struct {
+	arena *[]searchState
+	idx   []int
+}
+
+func (h stateHeap) Len() int { return len(h.idx) }
+func (h stateHeap) Less(i, j int) bool {
+	a := &(*h.arena)[h.idx[i]]
+	b := &(*h.arena)[h.idx[j]]
+	return a.f < b.f
+}
+func (h stateHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *stateHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *stateHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// route runs crossing-aware A* for one net and returns an uncommitted guide.
+func (r *Router) route(net design.Net) (*searchResult, error) {
+	src, dst, err := r.G.NetPins(net)
+	if err != nil {
+		return nil, err
+	}
+	dstPos := r.G.Node(dst).Pos
+
+	arena := make([]searchState, 0, 1024)
+	open := &stateHeap{arena: &arena}
+	best := make(map[stateKey]float64)
+
+	push := func(key stateKey, g float64, parent, link int) {
+		if prev, ok := best[key]; ok && prev <= g {
+			return
+		}
+		best[key] = g
+		h := r.G.Node(key.node).Pos.Dist(dstPos)
+		arena = append(arena, searchState{key: key, g: g, f: g + h, parent: parent, link: link})
+		heap.Push(open, len(arena)-1)
+	}
+
+	start := stateKey{node: src, gap: -1}
+	push(start, 0, -1, -1)
+
+	expanded := 0
+	for open.Len() > 0 {
+		si := heap.Pop(open).(int)
+		st := arena[si]
+		if st.g > best[st.key] {
+			continue // stale heap entry
+		}
+		if st.key.node == dst {
+			res, ok := r.reconstruct(net.ID, arena, si)
+			if ok {
+				return res, nil
+			}
+			continue // self-intersecting path; keep searching
+		}
+		expanded++
+		r.expansions++
+		if expanded > r.Opt.MaxExpansions {
+			break
+		}
+
+		node := r.G.Node(st.key.node)
+		if node.Kind == rgraph.ViaNode {
+			r.expandVia(st, si, net.ID, push)
+		} else {
+			r.expandEdge(st, si, net.ID, dst, push)
+		}
+	}
+	return nil, fmt.Errorf("net %d (%s): %w", net.ID, net.Name, ErrUnroutable)
+}
+
+// expandVia expands a via-node state. A via entered through an access-via
+// link must be left through its cross-via link (the wire descends or
+// ascends); a via entered through a cross-via link must be left through an
+// access-via link. The start pin may use anything available.
+func (r *Router) expandVia(st searchState, si, net int,
+	push func(stateKey, float64, int, int)) {
+	arrivedCross := st.key.viaArrive
+	isStart := st.link == -1
+	for _, adj := range r.G.Adj[st.key.node] {
+		link := r.G.Link(adj.Link)
+		switch link.Kind {
+		case rgraph.CrossVia:
+			if !isStart && arrivedCross {
+				continue // no double layer hop through one via pair
+			}
+			if r.linkUse[adj.Link] >= link.Cap {
+				continue
+			}
+			if r.nodeUse[adj.To] >= r.nodeCap(adj.To) {
+				continue
+			}
+			push(stateKey{node: adj.To, gap: -1, viaArrive: true}, st.g+link.Len, si, adj.Link)
+		case rgraph.AccessVia:
+			if !isStart && !arrivedCross {
+				continue // entered by wire; must take the via down/up
+			}
+			if r.linkUse[adj.Link] >= link.Cap {
+				continue
+			}
+			r.pushChordToEdge(st, si, net, adj, link, push)
+		}
+	}
+}
+
+// expandEdge expands an edge-node state through its cross-tile and
+// access-via links, enumerating crossing-free insertion gaps.
+func (r *Router) expandEdge(st searchState, si, net int, dst rgraph.NodeID,
+	push func(stateKey, float64, int, int)) {
+	for _, adj := range r.G.Adj[st.key.node] {
+		link := r.G.Link(adj.Link)
+		if r.linkUse[adj.Link] >= link.Cap {
+			continue
+		}
+		tile := r.G.TileOf(link.Layer, link.Tile)
+		fromOrd := edgeOrdinal(tile, st.key.node)
+		if fromOrd == -1 {
+			continue // defensive: link tile does not contain the node
+		}
+		from := gapEnd(fromOrd, int(st.key.gap))
+		switch link.Kind {
+		case rgraph.AccessVia:
+			// adj.To is the via node (link.A is always the via end).
+			if r.nodeUse[adj.To] >= r.nodeCap(adj.To) {
+				continue
+			}
+			// Foreign pins are never intermediate hops.
+			if to := r.G.Node(adj.To); to.VertKind == viaplan.KindPin && adj.To != dst &&
+				!r.G.Design.SameGroup(r.G.Design.IOPads[to.Ref].Net, net) {
+				continue
+			}
+			vOrd := vertexOrdinal(tile, r.G.Node(adj.To).Vert)
+			if vOrd == -1 {
+				continue
+			}
+			if !r.chordAllowed(net, tile, from, vertexEnd(vOrd)) {
+				continue
+			}
+			push(stateKey{node: adj.To, gap: -1, viaArrive: false}, st.g+link.Len, si, adj.Link)
+		case rgraph.CrossTile:
+			units := r.edgeUnits(net)
+			if r.nodeUse[adj.To]+units > r.nodeCap(adj.To) {
+				continue
+			}
+			if r.linkUse[adj.Link]+units > link.Cap {
+				continue
+			}
+			toOrd := edgeOrdinal(tile, adj.To)
+			if toOrd == -1 {
+				continue
+			}
+			m := len(r.seqs[adj.To])
+			r.pcBuf = r.passageCoords(net, tile, r.pcBuf)
+			q1 := r.coord(tile, from)
+			for g2 := 0; g2 <= m; g2++ {
+				if !chordAllowedCoords(q1, r.coord(tile, gapEnd(toOrd, g2)), r.pcBuf) {
+					continue
+				}
+				push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, adj.Link)
+			}
+		}
+	}
+}
+
+// pushChordToEdge pushes states entering an edge node from a via node,
+// trying every crossing-free insertion gap.
+func (r *Router) pushChordToEdge(st searchState, si, net int,
+	adj rgraph.Adjacent, link *rgraph.Link, push func(stateKey, float64, int, int)) {
+	if r.nodeUse[adj.To]+r.edgeUnits(net) > r.nodeCap(adj.To) {
+		return
+	}
+	tile := r.G.TileOf(link.Layer, link.Tile)
+	vOrd := vertexOrdinal(tile, r.G.Node(st.key.node).Vert)
+	eOrd := edgeOrdinal(tile, adj.To)
+	if vOrd == -1 || eOrd == -1 {
+		return
+	}
+	m := len(r.seqs[adj.To])
+	r.pcBuf = r.passageCoords(net, tile, r.pcBuf)
+	q1 := r.coord(tile, vertexEnd(vOrd))
+	for g2 := 0; g2 <= m; g2++ {
+		if !chordAllowedCoords(q1, r.coord(tile, gapEnd(eOrd, g2)), r.pcBuf) {
+			continue
+		}
+		push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, adj.Link)
+	}
+}
+
+// reconstruct walks the arena parents back to the start. It reports false
+// when the path visits any node twice (a self-intersecting guide, which the
+// commit machinery does not support).
+func (r *Router) reconstruct(net int, arena []searchState, goal int) (*searchResult, bool) {
+	var nodes []rgraph.NodeID
+	var links []int
+	var gaps []int
+	for i := goal; i != -1; i = arena[i].parent {
+		nodes = append(nodes, arena[i].key.node)
+		gaps = append(gaps, int(arena[i].key.gap))
+		if arena[i].link != -1 {
+			links = append(links, arena[i].link)
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+		gaps[i], gaps[j] = gaps[j], gaps[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	seen := make(map[rgraph.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		if seen[n] {
+			return nil, false
+		}
+		seen[n] = true
+	}
+	// Note: a path may revisit a tile and topologically cross its own
+	// earlier chord there. That is deliberately allowed: the minimum-spacing
+	// rule of §II-B applies only between different nets, so a guide crossing
+	// itself is electrically and DRC-legal (merely suboptimal, which the
+	// shortest-path objective already discourages).
+	return &searchResult{net: net, nodes: nodes, links: links, gaps: gaps}, true
+}

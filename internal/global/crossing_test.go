@@ -1,0 +1,49 @@
+package global
+
+import (
+	"testing"
+)
+
+func TestInOpenArc(t *testing.T) {
+	cases := []struct {
+		x, a, b float64
+		want    bool
+	}{
+		{1, 0, 2, true},
+		{0, 0, 2, false},    // endpoint excluded
+		{2, 0, 2, false},    // endpoint excluded
+		{3, 0, 2, false},    // outside
+		{5, 4, 2, true},     // wrapping arc 4→2 contains 5
+		{1, 4, 2, true},     // wrapping arc 4→2 contains 1
+		{3, 4, 2, false},    // wrapping arc 4→2 excludes 3
+		{0.5, 5.5, 1, true}, // wrap across 0
+	}
+	for i, c := range cases {
+		if got := inOpenArc(c.x, c.a, c.b); got != c.want {
+			t.Errorf("case %d: inOpenArc(%v, %v, %v) = %v, want %v", i, c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestChordsCross(t *testing.T) {
+	// Boundary domain [0, 6). Chord (0, 3) vs (1, 4): interleaved.
+	if !chordsCross(0, 3, 1, 4) {
+		t.Error("interleaved chords must cross")
+	}
+	// Chord (0, 3) vs (1, 2): nested, no cross.
+	if chordsCross(0, 3, 1, 2) {
+		t.Error("nested chords must not cross")
+	}
+	// Chord (0, 3) vs (4, 5): disjoint arcs, no cross.
+	if chordsCross(0, 3, 4, 5) {
+		t.Error("disjoint chords must not cross")
+	}
+	// Symmetry.
+	if chordsCross(1, 4, 0, 3) != chordsCross(0, 3, 1, 4) {
+		t.Error("chordsCross not symmetric")
+	}
+	// Wrapping chord (5, 1) vs (0, 3): 0 is inside (5,1), 3 is not → cross.
+	if !chordsCross(5, 1, 0, 3) {
+		t.Error("wrapping interleave must cross")
+	}
+}

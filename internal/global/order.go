@@ -1,0 +1,231 @@
+package global
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// Initial net ordering (§III-A2): every net is first routed alone on the
+// empty graph; a RUDY-like wire density is accumulated on the tiles each
+// standalone guide passes; nets are then ordered so that those passing more
+// over-threshold tiles — and among equals those with shorter pin-to-pin
+// distance — route first.
+
+// initialOrder returns the net indices in routing order.
+func (r *Router) initialOrder() []int {
+	n := len(r.G.Design.Nets)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if r.Opt.DisableRUDYOrder {
+		return order
+	}
+
+	// Standalone guides, computed in parallel: each net's seed route
+	// ignores every other net, so the searches are independent. Only the
+	// RUDY accumulation below needs the results together.
+	paths := make([]*plainPath, n)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	next := int32(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ni := int(atomic.AddInt32(&next, 1)) - 1
+				if ni >= n {
+					return
+				}
+				paths[ni] = r.routePlain(ni)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// RUDY accumulation.
+	density := make(map[tileKey]float64)
+	area := make(map[tileKey]float64)
+	type netGuide struct {
+		tiles []tileKey
+	}
+	guides := make([]netGuide, n)
+	pitch := r.G.Design.Rules.Pitch()
+	for ni := range r.G.Design.Nets {
+		path := paths[ni]
+		if path == nil {
+			continue
+		}
+		for i := 0; i+1 < len(path.nodes); i++ {
+			link := r.G.Link(path.links[i])
+			if link.Kind == rgraph.CrossVia {
+				continue
+			}
+			key := tileKey{link.Layer, link.Tile}
+			if _, ok := area[key]; !ok {
+				area[key] = r.tileArea(key)
+			}
+			chord := r.G.Node(path.nodes[i]).Pos.Dist(r.G.Node(path.nodes[i+1]).Pos)
+			density[key] += chord * pitch / area[key]
+			guides[ni].tiles = append(guides[ni].tiles, key)
+		}
+	}
+
+	congested := make([]int, n)
+	for ni := range guides {
+		for _, key := range guides[ni].tiles {
+			if density[key] > r.Opt.CongestionThreshold {
+				congested[ni]++
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		na, nb := order[a], order[b]
+		if congested[na] != congested[nb] {
+			return congested[na] > congested[nb]
+		}
+		da, db := r.netPinDist(na), r.netPinDist(nb)
+		if da != db {
+			return da < db
+		}
+		return na < nb
+	})
+	return order
+}
+
+// tileArea returns the area of a tile.
+func (r *Router) tileArea(key tileKey) float64 {
+	mesh := r.G.Layers[key.layer].Mesh
+	tri := mesh.Tris[key.tri]
+	a := math.Abs(geom.SignedArea2(mesh.Points[tri.V[0]], mesh.Points[tri.V[1]], mesh.Points[tri.V[2]])) / 2
+	if a <= 0 {
+		return 1
+	}
+	return a
+}
+
+// plainPath is a capacity-agnostic standalone route.
+type plainPath struct {
+	nodes []rgraph.NodeID
+	links []int
+}
+
+type plainState struct {
+	node      rgraph.NodeID
+	viaArrive bool
+}
+
+type plainItem struct {
+	st     plainState
+	g, f   float64
+	parent int
+	link   int
+}
+
+type plainHeap struct {
+	arena *[]plainItem
+	idx   []int
+}
+
+func (h plainHeap) Len() int { return len(h.idx) }
+func (h plainHeap) Less(i, j int) bool {
+	return (*h.arena)[h.idx[i]].f < (*h.arena)[h.idx[j]].f
+}
+func (h plainHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *plainHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *plainHeap) Pop() interface{} {
+	old := h.idx
+	x := old[len(old)-1]
+	h.idx = old[:len(old)-1]
+	return x
+}
+
+// routePlain finds the shortest structural path for one net, ignoring other
+// nets entirely (no usage, no sequences); only structural capacities
+// (cap > 0) gate traversal. Used for RUDY estimation. Returns nil when no
+// path exists at all.
+func (r *Router) routePlain(ni int) *plainPath {
+	net := r.G.Design.Nets[ni]
+	src, dst, err := r.G.NetPins(net)
+	if err != nil {
+		return nil
+	}
+	dstPos := r.G.Node(dst).Pos
+
+	arena := make([]plainItem, 0, 512)
+	open := &plainHeap{arena: &arena}
+	best := make(map[plainState]float64)
+	push := func(st plainState, g float64, parent, link int) {
+		if prev, ok := best[st]; ok && prev <= g {
+			return
+		}
+		best[st] = g
+		arena = append(arena, plainItem{st: st, g: g,
+			f: g + r.G.Node(st.node).Pos.Dist(dstPos), parent: parent, link: link})
+		heap.Push(open, len(arena)-1)
+	}
+	push(plainState{node: src}, 0, -1, -1)
+
+	for open.Len() > 0 {
+		si := heap.Pop(open).(int)
+		it := arena[si]
+		if it.g > best[it.st] {
+			continue
+		}
+		if it.st.node == dst {
+			var nodes []rgraph.NodeID
+			var links []int
+			for i := si; i != -1; i = arena[i].parent {
+				nodes = append(nodes, arena[i].st.node)
+				if arena[i].link != -1 {
+					links = append(links, arena[i].link)
+				}
+			}
+			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+			for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+				links[i], links[j] = links[j], links[i]
+			}
+			return &plainPath{nodes: nodes, links: links}
+		}
+		node := r.G.Node(it.st.node)
+		for _, adj := range r.G.Adj[it.st.node] {
+			link := r.G.Link(adj.Link)
+			to := r.G.Node(adj.To)
+			if to.Cap <= 0 && adj.To != dst {
+				continue
+			}
+			if node.Kind == rgraph.ViaNode && it.link != -1 {
+				// Same leave-kind restriction as the real search.
+				if it.st.viaArrive && link.Kind == rgraph.CrossVia {
+					continue
+				}
+				if !it.st.viaArrive && link.Kind != rgraph.CrossVia {
+					continue
+				}
+			}
+			// A wire never enters a pin that is not its own target.
+			if to.Kind == rgraph.ViaNode && to.VertKind == viaplan.KindPin &&
+				adj.To != dst && adj.To != src &&
+				!r.G.Design.SameGroup(r.G.Design.IOPads[to.Ref].Net, ni) {
+				continue
+			}
+			push(plainState{node: adj.To, viaArrive: link.Kind == rgraph.CrossVia},
+				it.g+link.Len, si, adj.Link)
+		}
+	}
+	return nil
+}

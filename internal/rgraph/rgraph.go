@@ -1,0 +1,472 @@
+// Package rgraph builds the multi-layer routing graph of the paper's §III-A1
+// from the per-layer Delaunay meshes: via nodes and edge nodes connected by
+// cross-via, access-via, and cross-tile edges, with the capacity model of
+// Eq. 1 (tile-edge capacity) and Eq. 2 (corner capacity from the bisector
+// effective length and the 3-segment routing pattern).
+package rgraph
+
+import (
+	"fmt"
+	"math"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/dt"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/viaplan"
+)
+
+// NodeID identifies a search node in the graph.
+type NodeID int32
+
+// Invalid is the null NodeID.
+const Invalid NodeID = -1
+
+// NodeKind distinguishes the two search-node types of the paper.
+type NodeKind uint8
+
+// Search node kinds.
+const (
+	// ViaNode models a candidate via (N_v^i): capacity one.
+	ViaNode NodeKind = iota
+	// EdgeNode models the tile-edge segment between two candidate vias
+	// (N_e^{i,j}): capacity per Eq. 1.
+	EdgeNode
+)
+
+// EdgeKind distinguishes the three graph-edge types of the paper.
+type EdgeKind uint8
+
+// Graph edge kinds.
+const (
+	// CrossVia connects the two via nodes of one candidate via in adjacent
+	// wire layers (E_v).
+	CrossVia EdgeKind = iota
+	// AccessVia connects a via node to the edge node opposite it within one
+	// tile (E_a).
+	AccessVia
+	// CrossTile connects two edge nodes of one tile around their shared
+	// corner (E_t); capacity per Eq. 2.
+	CrossTile
+)
+
+// String returns a short name for the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case CrossVia:
+		return "cross-via"
+	case AccessVia:
+		return "access-via"
+	default:
+		return "cross-tile"
+	}
+}
+
+// Node is one search node.
+type Node struct {
+	Kind  NodeKind
+	Layer int
+	// Pos is the representative position used for path costs: the via
+	// position for via nodes, the edge midpoint for edge nodes.
+	Pos geom.Point
+	// Cap is the node capacity: 1 for candidate vias and pins, 0 for bump
+	// and dummy vertices, Eq. 1 for edge nodes.
+	Cap int
+
+	// Via-node fields.
+	VertKind viaplan.VertexKind
+	Ref      int // pad / via / bump ID per VertKind
+	Vert     int // mesh vertex index within the layer
+
+	// Edge-node fields.
+	Edge dt.Edge    // mesh edge (vertex indices within the layer)
+	EndA geom.Point // positions of the edge endpoints
+	EndB geom.Point
+}
+
+// Link is one graph edge instance with its own capacity and usage identity.
+type Link struct {
+	ID   int
+	Kind EdgeKind
+	A, B NodeID
+	Cap  int
+	// Layer and Tile locate access-via and cross-tile links; Tile is -1 for
+	// cross-via links.
+	Layer, Tile int
+	// Corner is the mesh vertex index of the tile corner a cross-tile link
+	// wraps (or the via vertex of an access-via link).
+	Corner int
+	// Len is the nominal length cost of traversing the link.
+	Len float64
+}
+
+// Adjacent pairs a link with the neighbouring node it leads to.
+type Adjacent struct {
+	Link int
+	To   NodeID
+}
+
+// Tile is one triangular tile with its node references in boundary order:
+// the cyclic tile boundary is Verts[0], Edges[0], Verts[1], Edges[1],
+// Verts[2], Edges[2] where Edges[i] joins Verts[i] and Verts[(i+1)%3].
+type Tile struct {
+	Layer     int
+	Tri       int // triangle index within the layer mesh
+	Verts     [3]int
+	ViaNodes  [3]NodeID
+	EdgeNodes [3]NodeID
+	// CrossLinks[i] is the cross-tile link around corner Verts[i], which
+	// connects Edges[(i+2)%3] and Edges[i].
+	CrossLinks [3]int
+}
+
+// LayerGraph holds the per-wire-layer mesh and node lookup tables.
+type LayerGraph struct {
+	Index    int
+	Mesh     *dt.Mesh
+	Verts    []viaplan.Vertex // aligned with Mesh.Points
+	VertNode []NodeID         // mesh vertex -> via node
+	EdgeNode map[dt.Edge]NodeID
+	Tiles    []Tile // aligned with Mesh.Tris
+}
+
+// Graph is the complete multi-layer routing graph.
+type Graph struct {
+	Design *design.Design
+	Plan   *viaplan.Plan
+	Layers []LayerGraph
+	Nodes  []Node
+	Links  []Link
+	Adj    [][]Adjacent
+	// PinNode maps an I/O pad ID to its via node.
+	PinNode map[int]NodeID
+	// Options the graph was built with.
+	Opt Options
+}
+
+// Options tunes graph construction.
+type Options struct {
+	// ViaCost is the extra path cost of a cross-via link, discouraging
+	// gratuitous layer changes. Zero selects a default of 4× the via width.
+	ViaCost float64
+	// NaiveCornerCapacity disables the Eq. 2 effective-length model and
+	// instead caps each cross-tile edge at the smaller Eq. 1 capacity of its
+	// two edge nodes. Used by the ablation benchmarks: this is the
+	// overestimate of Fig. 6(a) that causes corner spacing violations.
+	NaiveCornerCapacity bool
+}
+
+// EdgeNodeCapacity implements Eq. 1: ⌊d(v_i, v_j) / (w_w + w_s)⌋.
+func EdgeNodeCapacity(a, b geom.Point, rules design.Rules) int {
+	return int(math.Floor(a.Dist(b) / rules.Pitch()))
+}
+
+// EffectiveEdgeCapacity is Eq. 1 corrected for via end clearance: wires
+// crossing a tile edge must also clear the vias at the edge's endpoints, so
+// only the span d − 2·(w_v/2 + w_s + w_w/2) is usable. Short sliver edges
+// between a pin and a nearby via would otherwise admit wires that cannot be
+// legalized. The corrected capacity never exceeds Eq. 1.
+func EffectiveEdgeCapacity(a, b geom.Point, rules design.Rules) int {
+	endClear := rules.ViaWidth/2 + rules.MinSpacing + rules.WireWidth/2
+	usable := a.Dist(b) - 2*endClear
+	if usable < 0 {
+		return 0
+	}
+	cap := int(math.Floor(usable/rules.Pitch())) + 1
+	if eq1 := EdgeNodeCapacity(a, b, rules); cap > eq1 {
+		cap = eq1
+	}
+	return cap
+}
+
+// CornerCapacity implements Eq. 2: ⌊cos(ang(j)/4) · l(j) / (w_w + w_s)⌋,
+// where v is the corner and a, b the adjacent triangle vertices.
+func CornerCapacity(v, a, b geom.Point, rules design.Rules) int {
+	ang := geom.AngleAt(v, a, b)
+	l := geom.CornerEffectiveLength(v, a, b)
+	return int(math.Floor(math.Cos(ang/4) * l / rules.Pitch()))
+}
+
+// Build constructs the routing graph for a design and its via plan.
+func Build(d *design.Design, plan *viaplan.Plan, opt Options) (*Graph, error) {
+	if opt.ViaCost <= 0 {
+		opt.ViaCost = 4 * d.Rules.ViaWidth
+	}
+	g := &Graph{
+		Design:  d,
+		Plan:    plan,
+		Layers:  make([]LayerGraph, len(plan.Layers)),
+		PinNode: make(map[int]NodeID),
+		Opt:     opt,
+	}
+
+	// Per-layer meshes and nodes. A pin's via capacity is the number of
+	// subnets terminating at it (multi-pin groups share pads).
+	padNetCount := d.PadNetCount()
+	viaNodes := make(map[[2]int]NodeID) // (viaID, wire layer) -> node
+	for li := range plan.Layers {
+		lp := plan.Layers[li]
+		pts := make([]geom.Point, len(lp.Verts))
+		for i, v := range lp.Verts {
+			pts[i] = v.Pos
+		}
+		mesh, err := dt.Triangulate(pts)
+		if err != nil {
+			return nil, fmt.Errorf("rgraph: layer %d: %w", li, err)
+		}
+		lg := &g.Layers[li]
+		lg.Index = li
+		lg.Mesh = mesh
+		lg.EdgeNode = make(map[dt.Edge]NodeID)
+
+		// Align vertex metadata with the (deduplicated) mesh vertex set.
+		lg.Verts = make([]viaplan.Vertex, len(mesh.Points))
+		for in, vi := range mesh.InputVertex {
+			lg.Verts[vi] = lp.Verts[in]
+		}
+
+		// Via nodes, one per mesh vertex.
+		lg.VertNode = make([]NodeID, len(mesh.Points))
+		for vi := range mesh.Points {
+			meta := lg.Verts[vi]
+			capv := 0
+			switch meta.Kind {
+			case viaplan.KindVia:
+				capv = 1
+			case viaplan.KindPin:
+				capv = padNetCount[meta.Ref]
+				if capv < 1 {
+					capv = 1
+				}
+			}
+			id := NodeID(len(g.Nodes))
+			g.Nodes = append(g.Nodes, Node{
+				Kind:     ViaNode,
+				Layer:    li,
+				Pos:      mesh.Points[vi],
+				Cap:      capv,
+				VertKind: meta.Kind,
+				Ref:      meta.Ref,
+				Vert:     vi,
+			})
+			lg.VertNode[vi] = id
+			if meta.Kind == viaplan.KindPin {
+				g.PinNode[meta.Ref] = id
+			}
+			if meta.Kind == viaplan.KindVia {
+				viaNodes[[2]int{meta.Ref, li}] = id
+			}
+		}
+
+		// Edge nodes, one per mesh edge (deterministic order). Blocking is
+		// tile-conservative: an edge carries no wires when it enters a
+		// keep-out OR when either incident tile overlaps one — detailed
+		// geometry (access points, fit detours) may wander anywhere inside
+		// a tile, so partially covered tiles cannot be trusted.
+		clearance := d.Rules.Pitch()
+		blockedTri := make([]bool, len(mesh.Tris))
+		for ti, tri := range mesh.Tris {
+			blockedTri[ti] = triangleBlocked(d, li, clearance,
+				mesh.Points[tri.V[0]], mesh.Points[tri.V[1]], mesh.Points[tri.V[2]])
+		}
+		for _, e := range mesh.Edges() {
+			a, b := mesh.Points[e.A], mesh.Points[e.B]
+			capE := EffectiveEdgeCapacity(a, b, d.Rules)
+			if d.SegmentBlocked(geom.Seg(a, b), li, clearance) {
+				capE = 0
+			}
+			if ts, ok := mesh.EdgeTriangles(e); ok {
+				for _, ti := range ts {
+					if ti != -1 && blockedTri[ti] {
+						capE = 0
+					}
+				}
+			}
+			id := NodeID(len(g.Nodes))
+			g.Nodes = append(g.Nodes, Node{
+				Kind:  EdgeNode,
+				Layer: li,
+				Pos:   geom.Mid(a, b),
+				Cap:   capE,
+				Edge:  e,
+				EndA:  a,
+				EndB:  b,
+			})
+			lg.EdgeNode[e] = id
+		}
+	}
+
+	g.Adj = make([][]Adjacent, len(g.Nodes))
+	addLink := func(l Link) int {
+		l.ID = len(g.Links)
+		g.Links = append(g.Links, l)
+		g.Adj[l.A] = append(g.Adj[l.A], Adjacent{Link: l.ID, To: l.B})
+		g.Adj[l.B] = append(g.Adj[l.B], Adjacent{Link: l.ID, To: l.A})
+		return l.ID
+	}
+
+	// Cross-via links: the two nodes of each candidate via.
+	for _, v := range plan.Vias {
+		a, okA := viaNodes[[2]int{v.ID, v.Layer}]
+		b, okB := viaNodes[[2]int{v.ID, v.Layer + 1}]
+		if !okA || !okB {
+			return nil, fmt.Errorf("rgraph: via %d missing a layer node", v.ID)
+		}
+		addLink(Link{Kind: CrossVia, A: a, B: b, Cap: 1, Layer: v.Layer, Tile: -1,
+			Corner: -1, Len: opt.ViaCost})
+	}
+
+	// Per-tile access-via and cross-tile links.
+	for li := range g.Layers {
+		lg := &g.Layers[li]
+		mesh := lg.Mesh
+		lg.Tiles = make([]Tile, len(mesh.Tris))
+		for ti, tri := range mesh.Tris {
+			t := Tile{Layer: li, Tri: ti, Verts: tri.V}
+			for i := 0; i < 3; i++ {
+				t.ViaNodes[i] = lg.VertNode[tri.V[i]]
+				e := dt.MakeEdge(tri.V[i], tri.V[(i+1)%3])
+				t.EdgeNodes[i] = lg.EdgeNode[e]
+			}
+			// Access-via: each corner to the opposite edge node. Chords
+			// that would carry the wire through an in-tile keep-out are
+			// blocked (cap 0 would not stop the search since links use
+			// their own capacity; simply skip them).
+			clearance := d.Rules.Pitch()
+			for i := 0; i < 3; i++ {
+				vn := t.ViaNodes[i]
+				if g.Nodes[vn].Cap == 0 {
+					continue // bumps and dummies carry no via access
+				}
+				opp := t.EdgeNodes[(i+1)%3] // edge (i+1, i+2) is opposite corner i
+				if d.SegmentBlocked(geom.Seg(g.Nodes[vn].Pos, g.Nodes[opp].Pos), li, clearance) {
+					continue
+				}
+				addLink(Link{Kind: AccessVia, A: vn, B: opp, Cap: 1,
+					Layer: li, Tile: ti, Corner: tri.V[i],
+					Len: g.Nodes[vn].Pos.Dist(g.Nodes[opp].Pos)})
+			}
+			// Cross-tile: around each corner i, connecting the two incident
+			// edges, Edges[(i+2)%3] (joins i-1, i) and Edges[i] (joins i, i+1).
+			for i := 0; i < 3; i++ {
+				ea := t.EdgeNodes[(i+2)%3]
+				eb := t.EdgeNodes[i]
+				v := mesh.Points[tri.V[i]]
+				a := mesh.Points[tri.V[(i+1)%3]]
+				b := mesh.Points[tri.V[(i+2)%3]]
+				var capc int
+				if opt.NaiveCornerCapacity {
+					capc = min(g.Nodes[ea].Cap, g.Nodes[eb].Cap)
+				} else {
+					capc = CornerCapacity(v, a, b, d.Rules)
+				}
+				if d.SegmentBlocked(geom.Seg(g.Nodes[ea].Pos, g.Nodes[eb].Pos), li, clearance) {
+					capc = 0
+				}
+				t.CrossLinks[i] = addLink(Link{Kind: CrossTile, A: ea, B: eb, Cap: capc,
+					Layer: li, Tile: ti, Corner: tri.V[i],
+					Len: g.Nodes[ea].Pos.Dist(g.Nodes[eb].Pos)})
+			}
+			lg.Tiles[ti] = t
+		}
+	}
+	return g, nil
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id int) *Link { return &g.Links[id] }
+
+// NetPins returns the source and target via nodes of a net.
+func (g *Graph) NetPins(n design.Net) (NodeID, NodeID, error) {
+	s, okS := g.PinNode[n.Pins[0]]
+	t, okT := g.PinNode[n.Pins[1]]
+	if !okS || !okT {
+		return Invalid, Invalid, fmt.Errorf("rgraph: net %d pins not in graph", n.ID)
+	}
+	return s, t, nil
+}
+
+// TileOf returns the tile metadata for (layer, triangle).
+func (g *Graph) TileOf(layer, tri int) *Tile { return &g.Layers[layer].Tiles[tri] }
+
+// SharedTiles returns the triangles (within node a's layer) incident to both
+// nodes, which both must be edge nodes of the same layer.
+func (g *Graph) SharedTiles(a, b NodeID) []int {
+	na, nb := g.Nodes[a], g.Nodes[b]
+	if na.Layer != nb.Layer || na.Kind != EdgeNode || nb.Kind != EdgeNode {
+		return nil
+	}
+	mesh := g.Layers[na.Layer].Mesh
+	ta, _ := mesh.EdgeTriangles(na.Edge)
+	tb, _ := mesh.EdgeTriangles(nb.Edge)
+	var out []int
+	for _, x := range ta {
+		if x == -1 {
+			continue
+		}
+		for _, y := range tb {
+			if x == y {
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes graph size for logging and tests.
+type Stats struct {
+	ViaNodes, EdgeNodes            int
+	CrossVia, AccessVia, CrossTile int
+	Layers                         int
+}
+
+// Stats returns counts of nodes and links by kind.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	s.Layers = len(g.Layers)
+	for _, n := range g.Nodes {
+		if n.Kind == ViaNode {
+			s.ViaNodes++
+		} else {
+			s.EdgeNodes++
+		}
+	}
+	for _, l := range g.Links {
+		switch l.Kind {
+		case CrossVia:
+			s.CrossVia++
+		case AccessVia:
+			s.AccessVia++
+		case CrossTile:
+			s.CrossTile++
+		}
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// triangleBlocked reports whether the triangle (a, b, c) overlaps any
+// keep-out of the layer, expanded by the clearance.
+func triangleBlocked(d *design.Design, layer int, clearance float64, a, b, c geom.Point) bool {
+	// Edge or vertex contact.
+	if d.SegmentBlocked(geom.Seg(a, b), layer, clearance) ||
+		d.SegmentBlocked(geom.Seg(b, c), layer, clearance) ||
+		d.SegmentBlocked(geom.Seg(c, a), layer, clearance) {
+		return true
+	}
+	// Obstacle entirely inside the triangle: test one obstacle corner.
+	for _, o := range d.ObstaclesOnLayer(layer) {
+		if geom.PointInTriangle(o.Rect.Min, a, b, c) {
+			return true
+		}
+	}
+	return false
+}

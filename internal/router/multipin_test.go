@@ -1,0 +1,140 @@
+package router
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+)
+
+// multiPinDesign builds dense1 plus one 4-pin net spanning both chips.
+func multiPinDesign(t *testing.T) (*design.Design, []int) {
+	t.Helper()
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := d.Chips[0].Outline
+	c1 := d.Chips[1].Outline
+	ids, err := d.AddMultiPinNet("clk", []design.PadSpec{
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+30)},
+		{Chip: 1, Pos: geom.Pt(c1.Min.X, c1.Min.Y+30)},
+		{Chip: 1, Pos: geom.Pt(c1.Min.X, c1.Max.Y-30)},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Max.Y-30)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ids
+}
+
+func TestRouteMultiPinNet(t *testing.T) {
+	d, ids := multiPinDesign(t)
+	out, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Routability != 1 {
+		t.Fatalf("routability = %v (failed %v)", out.Metrics.Routability,
+			out.GlobalResult.FailedNets)
+	}
+	// Each subnet's geometry connects its two pads.
+	for _, ni := range ids {
+		rt := out.DetailResult.Routes[ni]
+		if rt == nil {
+			t.Fatalf("subnet %d unrouted", ni)
+		}
+		a, b := d.PinPos(d.Nets[ni])
+		first := rt.Segs[0].Pl[0]
+		lastSeg := rt.Segs[len(rt.Segs)-1].Pl
+		last := lastSeg[len(lastSeg)-1]
+		if !first.ApproxEq(a) || !last.ApproxEq(b) {
+			t.Errorf("subnet %d endpoints wrong", ni)
+		}
+	}
+	// Connectivity of the whole group: union-find over shared pad
+	// positions must connect all four pins.
+	endpoints := map[geom.Point]int{}
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	comp := 0
+	for _, ni := range ids {
+		rt := out.DetailResult.Routes[ni]
+		for _, p := range []geom.Point{
+			rt.Segs[0].Pl[0],
+			rt.Segs[len(rt.Segs)-1].Pl[len(rt.Segs[len(rt.Segs)-1].Pl)-1],
+		} {
+			if _, ok := endpoints[p]; !ok {
+				endpoints[p] = comp
+				parent[comp] = comp
+				comp++
+			}
+		}
+	}
+	for _, ni := range ids {
+		rt := out.DetailResult.Routes[ni]
+		a := endpoints[rt.Segs[0].Pl[0]]
+		lastSeg := rt.Segs[len(rt.Segs)-1].Pl
+		b := endpoints[lastSeg[len(lastSeg)-1]]
+		parent[find(a)] = find(b)
+	}
+	roots := map[int]bool{}
+	for c := 0; c < comp; c++ {
+		roots[find(c)] = true
+	}
+	if len(roots) != 1 {
+		t.Errorf("multi-pin group split into %d components", len(roots))
+	}
+	// Group-aware DRC reports no spacing violations BETWEEN the subnets.
+	for _, v := range out.Violations {
+		if v.Kind != detail.SpacingViolation {
+			continue
+		}
+		inGroup := func(net int) bool {
+			for _, ni := range ids {
+				if ni == net {
+					return true
+				}
+			}
+			return false
+		}
+		if inGroup(v.NetA) && inGroup(v.NetB) {
+			t.Errorf("intra-group spacing violation reported: %v", v)
+		}
+	}
+}
+
+func TestMultiPinSharedPadCapacity(t *testing.T) {
+	// A 3-pin chain shares its middle pad between two subnets; both must
+	// terminate there.
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := d.Chips[0].Outline
+	ids, err := d.AddMultiPinNet("tee", []design.PadSpec{
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+33)},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+433)},
+		{Chip: 0, Pos: geom.Pt(c0.Max.X, c0.Min.Y+833)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ni := range ids {
+		if out.DetailResult.Routes[ni] == nil {
+			t.Fatalf("subnet %d of the shared-pad chain unrouted (failed %v)",
+				ni, out.GlobalResult.FailedNets)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package router
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+)
+
+// TestRouteAroundObstacle places a keep-out block in the middle of dense1's
+// routing channel and verifies every route detours around it on every
+// layer, at a wirelength cost.
+func TestRouteAroundObstacle(t *testing.T) {
+	base, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Route(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dense1 channel spans x ∈ [1620, 2040]; block its middle band.
+	obstacle := design.Obstacle{
+		Name: "cavity",
+		Rect: geom.R(1760, 850, 1900, 1450),
+	}
+	if err := d.AddObstacle(obstacle); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Routability < 0.95 {
+		t.Fatalf("routability with obstacle = %v", out.Metrics.Routability)
+	}
+	// No wire enters the keep-out.
+	obstacleHits := 0
+	for _, v := range out.Violations {
+		if v.Kind == detail.ObstacleViolation {
+			obstacleHits++
+		}
+	}
+	if obstacleHits != 0 {
+		t.Errorf("%d wires enter the keep-out", obstacleHits)
+	}
+	// Detouring around the block costs wirelength.
+	if out.Metrics.Routability == 1 && out.Metrics.Wirelength <= ref.Metrics.Wirelength {
+		t.Errorf("obstacle run not longer: %v vs %v",
+			out.Metrics.Wirelength, ref.Metrics.Wirelength)
+	}
+	t.Logf("wirelength without obstacle %.0f, with %.0f (+%.1f%%)",
+		ref.Metrics.Wirelength, out.Metrics.Wirelength,
+		100*(out.Metrics.Wirelength-ref.Metrics.Wirelength)/ref.Metrics.Wirelength)
+}
+
+// TestLayerScopedObstacle verifies that an obstacle blocking only layer 0
+// pushes wires to layer 1 underneath it rather than around it.
+func TestLayerScopedObstacle(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obstacle := design.Obstacle{
+		Name:   "topside-keepout",
+		Rect:   geom.R(1750, 950, 1910, 1350),
+		Layers: []int{0},
+	}
+	if err := d.AddObstacle(obstacle); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Routability < 0.95 {
+		t.Fatalf("routability = %v", out.Metrics.Routability)
+	}
+	// Layer-0 wires stay out; layer-1 wires may pass through.
+	through := 0
+	for _, rt := range out.DetailResult.Routes {
+		if rt == nil {
+			continue
+		}
+		for _, seg := range rt.Segs {
+			for _, s := range seg.Pl.Segments() {
+				hit := d.SegmentBlocked(s, seg.Layer, 0)
+				if hit && seg.Layer == 0 {
+					t.Fatalf("net %d crosses the layer-0 keep-out on layer 0", rt.Net)
+				}
+				if seg.Layer == 1 && d.SegmentBlocked(s, 0, 0) {
+					through++
+				}
+			}
+		}
+	}
+	if through == 0 {
+		t.Error("no wire used layer 1 under the keep-out; expected dives")
+	}
+}

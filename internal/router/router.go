@@ -1,0 +1,142 @@
+// Package router is the public pipeline facade of the any-angle RDL router:
+// via planning → routing-graph construction → global routing (crossing-aware
+// A* with the Eq. 1/Eq. 2 capacity model, RUDY ordering, diagonal utility
+// refinement, net-order adjustment) → detailed routing (DP access-point
+// adjustment, fit-routing tile legalization) → design-rule checking.
+//
+// Typical use:
+//
+//	d, _ := design.GenerateDense("dense1")
+//	out, err := router.Route(d, router.Options{})
+//	fmt.Println(out.Metrics.Routability, out.Metrics.Wirelength)
+package router
+
+import (
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// Options bundles the per-stage options plus the overall time budget.
+type Options struct {
+	Via    viaplan.Options
+	Graph  rgraph.Options
+	Global global.Options
+	Detail detail.Options
+	// TimeBudget aborts global routing when exceeded (the paper caps every
+	// run at one hour and reports the best result so far). Zero means no
+	// limit.
+	TimeBudget time.Duration
+}
+
+// Metrics summarizes one routing run in the form the paper's tables report.
+type Metrics struct {
+	// Routability is the fraction of nets fully routed, in [0, 1].
+	Routability float64
+	RoutedNets  int
+	TotalNets   int
+	// Wirelength is the total routed wirelength in µm. When Routability is
+	// below 1 it covers only the successfully routed nets and is therefore
+	// a lower bound (the paper's '>' notation).
+	Wirelength     float64
+	WirelengthIsLB bool
+	// Vias is the number of vias used by routed nets.
+	Vias int
+	// Runtime is the wall-clock routing time (graph build included).
+	Runtime time.Duration
+	// TimedOut reports whether the time budget cut the run short.
+	TimedOut bool
+
+	GlobalRounds       int
+	DiagonalReductions int
+	FitFailures        int
+	DRCViolations      int
+	GraphStats         rgraph.Stats
+}
+
+// Output carries the full results of a routing run.
+type Output struct {
+	Design       *design.Design
+	Graph        *rgraph.Graph
+	GlobalRouter *global.Router
+	GlobalResult *global.Result
+	DetailResult *detail.Result
+	Violations   []detail.Violation
+	Metrics      Metrics
+}
+
+// Route runs the complete any-angle routing pipeline on a design.
+func Route(d *design.Design, opt Options) (*Output, error) {
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeBudget > 0 {
+		deadline = start.Add(opt.TimeBudget)
+	}
+
+	plan, err := viaplan.Build(d, opt.Via)
+	if err != nil {
+		return nil, err
+	}
+	g, err := rgraph.Build(d, plan, opt.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	gopt := opt.Global
+	timedOut := false
+	if !deadline.IsZero() {
+		userStop := gopt.ShouldStop
+		gopt.ShouldStop = func() bool {
+			if userStop != nil && userStop() {
+				return true
+			}
+			if time.Now().After(deadline) {
+				timedOut = true
+				return true
+			}
+			return false
+		}
+	}
+	gr := global.New(g, gopt)
+	gres, err := gr.Run()
+	if err != nil {
+		return nil, err
+	}
+	dres, err := detail.Run(gr, gres, opt.Detail)
+	if err != nil {
+		return nil, err
+	}
+	violations := detail.CheckDRCWithDesign(dres.Routes, d)
+
+	out := &Output{
+		Design:       d,
+		Graph:        g,
+		GlobalRouter: gr,
+		GlobalResult: gres,
+		DetailResult: dres,
+		Violations:   violations,
+	}
+	m := &out.Metrics
+	m.TotalNets = len(d.Nets)
+	for _, rt := range dres.Routes {
+		if rt != nil {
+			m.RoutedNets++
+			m.Vias += len(rt.Vias)
+		}
+	}
+	m.Routability = gres.Routability()
+	m.Wirelength = dres.Wirelength
+	m.WirelengthIsLB = m.RoutedNets < m.TotalNets
+	m.Runtime = time.Since(start)
+	m.TimedOut = timedOut
+	m.GlobalRounds = gres.OrderRounds
+	m.DiagonalReductions = gres.DiagonalReductions
+	m.FitFailures = dres.FitFailures
+	m.DRCViolations = len(violations)
+	m.GraphStats = g.Stats()
+	return out, nil
+}

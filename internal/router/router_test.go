@@ -1,0 +1,138 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/global"
+)
+
+func TestRouteDense1(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Metrics
+	if m.Routability != 1 {
+		t.Fatalf("routability = %v", m.Routability)
+	}
+	if m.RoutedNets != m.TotalNets || m.TotalNets != len(d.Nets) {
+		t.Errorf("net counts wrong: %d/%d", m.RoutedNets, m.TotalNets)
+	}
+	if m.Wirelength <= d.TotalHPWL() {
+		t.Errorf("wirelength %v below HPWL %v", m.Wirelength, d.TotalHPWL())
+	}
+	if m.WirelengthIsLB {
+		t.Error("full routability must not be a lower bound")
+	}
+	if m.Vias == 0 {
+		t.Error("crossing nets should need vias")
+	}
+	if m.Vias%2 != 0 {
+		t.Error("via count must be even for pins on one layer")
+	}
+	if m.Runtime <= 0 {
+		t.Error("runtime not measured")
+	}
+	if m.TimedOut {
+		t.Error("should not time out without budget")
+	}
+	if m.GraphStats.ViaNodes == 0 || m.GraphStats.EdgeNodes == 0 {
+		t.Error("graph stats missing")
+	}
+	if len(out.Violations) != m.DRCViolations {
+		t.Error("violation count mismatch")
+	}
+}
+
+func TestRouteMetricsConsistency(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metrics wirelength equals the detail result's.
+	if out.Metrics.Wirelength != out.DetailResult.Wirelength {
+		t.Error("wirelength mismatch between metrics and detail result")
+	}
+	// Via count matches route via lists.
+	vias := 0
+	for _, rt := range out.DetailResult.Routes {
+		if rt != nil {
+			vias += len(rt.Vias)
+		}
+	}
+	if vias != out.Metrics.Vias {
+		t.Errorf("vias = %d, metrics say %d", vias, out.Metrics.Vias)
+	}
+	// DRC recomputes identically.
+	vs := detail.CheckDRC(out.DetailResult.Routes, d.Rules, d.WireLayers)
+	if len(vs) != out.Metrics.DRCViolations {
+		t.Errorf("DRC recount %d != %d", len(vs), out.Metrics.DRCViolations)
+	}
+}
+
+func TestRouteTimeBudget(t *testing.T) {
+	d, err := design.GenerateDense("dense3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1 ns budget must abort global routing almost immediately but still
+	// return a structurally valid (mostly empty) result.
+	out, err := Route(d, Options{TimeBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Metrics.TimedOut {
+		t.Error("expected timeout")
+	}
+	if out.Metrics.Routability > 0.5 {
+		t.Errorf("timed-out run routed %.0f%%", out.Metrics.Routability*100)
+	}
+	if out.Metrics.RoutedNets < out.Metrics.TotalNets && !out.Metrics.WirelengthIsLB {
+		t.Error("partial result must flag wirelength as a lower bound")
+	}
+}
+
+func TestRouteUserShouldStopCombines(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	out, err := Route(d, Options{
+		TimeBudget: time.Hour,
+		Global: global.Options{
+			ShouldStop: func() bool { calls++; return false },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("user stop hook never polled")
+	}
+	if out.Metrics.TimedOut {
+		t.Error("unexpected timeout")
+	}
+}
+
+func TestRouteInvalidDesign(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.WireLayers = 0
+	if _, err := Route(d, Options{}); err == nil {
+		t.Error("invalid design must fail")
+	}
+}

@@ -1,0 +1,158 @@
+// Package stats computes analysis statistics over detailed routing results:
+// segment-angle histograms (how "any-angle" the solution really is),
+// segment-length distributions, per-layer utilization, and via usage. The
+// angle histogram is the direct evidence for the paper's core claim — a
+// traditional router's histogram collapses onto the four X-architecture
+// orientations, while the any-angle router spreads across the circle.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"rdlroute/internal/detail"
+)
+
+// AngleBucketDeg is the angle histogram resolution in degrees.
+const AngleBucketDeg = 5
+
+// Report summarizes the geometry of a routing result.
+type Report struct {
+	Nets     int
+	Segments int
+	Vertices int
+	// Wirelength totals.
+	Wirelength float64
+	PerLayerWL map[int]float64
+	// Vias per via layer (key = upper wire layer).
+	Vias map[int]int
+	// AngleHist counts segments by direction modulo 180°, in
+	// AngleBucketDeg buckets: index i covers [i·5°, i·5°+5°).
+	AngleHist [180 / AngleBucketDeg]int
+	// OctilinearFrac is the fraction of segments lying on X-architecture
+	// orientations (0/45/90/135° within ±1°), weighted by count.
+	OctilinearFrac float64
+	// SegLen percentiles over all segments (µm).
+	SegLenP50, SegLenP90, SegLenMax float64
+}
+
+// Analyze builds a Report from detailed routes.
+func Analyze(routes []*detail.Route) *Report {
+	r := &Report{
+		PerLayerWL: make(map[int]float64),
+		Vias:       make(map[int]int),
+	}
+	var lengths []float64
+	octilinear := 0
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		r.Nets++
+		for _, v := range rt.Vias {
+			r.Vias[v.UpperLayer]++
+		}
+		for _, seg := range rt.Segs {
+			r.Vertices += len(seg.Pl)
+			for _, s := range seg.Pl.Segments() {
+				r.Segments++
+				l := s.Len()
+				lengths = append(lengths, l)
+				r.Wirelength += l
+				r.PerLayerWL[seg.Layer] += l
+				deg := math.Atan2(s.B.Y-s.A.Y, s.B.X-s.A.X) * 180 / math.Pi
+				deg = math.Mod(deg+360, 180)
+				bucket := int(deg) / AngleBucketDeg
+				if bucket >= len(r.AngleHist) {
+					bucket = len(r.AngleHist) - 1
+				}
+				r.AngleHist[bucket]++
+				if isOctilinear(deg) {
+					octilinear++
+				}
+			}
+		}
+	}
+	if r.Segments > 0 {
+		r.OctilinearFrac = float64(octilinear) / float64(r.Segments)
+	}
+	if len(lengths) > 0 {
+		sort.Float64s(lengths)
+		r.SegLenP50 = lengths[len(lengths)/2]
+		r.SegLenP90 = lengths[len(lengths)*9/10]
+		r.SegLenMax = lengths[len(lengths)-1]
+	}
+	return r
+}
+
+// isOctilinear reports whether a direction (degrees in [0, 180)) lies on an
+// X-architecture orientation within ±1°.
+func isOctilinear(deg float64) bool {
+	for _, o := range []float64{0, 45, 90, 135, 180} {
+		if math.Abs(deg-o) <= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Print renders the report as text, including a compact angle histogram.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "nets %d, segments %d, vertices %d\n", r.Nets, r.Segments, r.Vertices)
+	fmt.Fprintf(w, "wirelength %.0f µm", r.Wirelength)
+	layers := make([]int, 0, len(r.PerLayerWL))
+	for l := range r.PerLayerWL {
+		layers = append(layers, l)
+	}
+	sort.Ints(layers)
+	for _, l := range layers {
+		fmt.Fprintf(w, "  L%d=%.0f", l, r.PerLayerWL[l])
+	}
+	fmt.Fprintln(w)
+	vlayers := make([]int, 0, len(r.Vias))
+	total := 0
+	for l, c := range r.Vias {
+		vlayers = append(vlayers, l)
+		total += c
+	}
+	sort.Ints(vlayers)
+	fmt.Fprintf(w, "vias %d", total)
+	for _, l := range vlayers {
+		fmt.Fprintf(w, "  V%d-%d=%d", l, l+1, r.Vias[l])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "segment length p50 %.1f µm, p90 %.1f µm, max %.1f µm\n",
+		r.SegLenP50, r.SegLenP90, r.SegLenMax)
+	fmt.Fprintf(w, "octilinear segments %.1f%% (the rest are true any-angle)\n",
+		r.OctilinearFrac*100)
+	// Histogram sparkline: one char per 15° (3 buckets).
+	max := 0
+	for _, c := range r.AngleHist {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 0 {
+		fmt.Fprint(w, "angle histogram (0°→180°, 5° buckets): ")
+		glyphs := []byte(" .:-=+*#%@")
+		for _, c := range r.AngleHist {
+			g := c * (len(glyphs) - 1) / max
+			fmt.Fprintf(w, "%c", glyphs[g])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// DistinctAngles returns how many 5° buckets are populated — a quick
+// any-angle-ness score (an X-architecture result populates at most 4).
+func (r *Report) DistinctAngles() int {
+	n := 0
+	for _, c := range r.AngleHist {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+// Package svg renders routed designs as SVG documents: the package outline,
+// chips, pads, bump pads, candidate vias, and the detailed routes of one
+// wire layer. It regenerates the layout figures of the paper (Fig. 14 shows
+// the first wire layer of dense5).
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Layer is the wire layer whose routes are drawn.
+	Layer int
+	// Scale maps µm to SVG user units. Zero selects 0.25.
+	Scale float64
+	// ShowBumps draws bump pads (bottom layer context).
+	ShowBumps bool
+	// ShowVias draws the vias used by the routes on this layer.
+	ShowVias bool
+}
+
+// netPalette cycles distinct stroke colors over nets.
+var netPalette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Render writes an SVG document for one wire layer of a routed design.
+func Render(w io.Writer, d *design.Design, routes []*detail.Route, opt Options) error {
+	if opt.Scale <= 0 {
+		opt.Scale = 0.25
+	}
+	s := opt.Scale
+	width := d.Outline.W() * s
+	height := d.Outline.H() * s
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.2f" height="%.2f" fill="#fafafa" stroke="#333" stroke-width="1"/>`+"\n",
+		width, height)
+
+	x := func(v float64) float64 { return (v - d.Outline.Min.X) * s }
+	y := func(v float64) float64 { return (v - d.Outline.Min.Y) * s }
+
+	// Chips.
+	for _, c := range d.Chips {
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#eef2f7" stroke="#8899aa" stroke-width="0.8"/>`+"\n",
+			x(c.Outline.Min.X), y(c.Outline.Min.Y), c.Outline.W()*s, c.Outline.H()*s)
+	}
+	// Bump pads.
+	if opt.ShowBumps {
+		for _, p := range d.BumpPads {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="#ddd" stroke="#bbb" stroke-width="0.3"/>`+"\n",
+				x(p.Pos.X), y(p.Pos.Y), 3*s)
+		}
+	}
+	// I/O pads.
+	for _, p := range d.IOPads {
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="#445" />`+"\n",
+			x(p.Pos.X), y(p.Pos.Y), 2.2*s)
+	}
+	// Routes of the chosen layer.
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		color := netPalette[rt.Net%len(netPalette)]
+		for _, seg := range rt.Segs {
+			if seg.Layer != opt.Layer {
+				continue
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-linejoin="round"/>`+"\n",
+				points(seg.Pl, x, y), color, d.WidthOf(rt.Net)*s)
+		}
+		if opt.ShowVias {
+			for _, v := range rt.Vias {
+				if v.UpperLayer != opt.Layer && v.UpperLayer+1 != opt.Layer {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+					x(v.Pos.X), y(v.Pos.Y), d.Rules.ViaWidth/2*s, color, 0.8*s)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func points(pl geom.Polyline, x, y func(float64) float64) string {
+	var sb strings.Builder
+	for i, p := range pl {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.2f,%.2f", x(p.X), y(p.Y))
+	}
+	return sb.String()
+}

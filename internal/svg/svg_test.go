@@ -1,0 +1,104 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+)
+
+func sampleRoutes() []*detail.Route {
+	return []*detail.Route{
+		{
+			Net: 0,
+			Segs: []detail.RouteSeg{
+				{Layer: 0, Pl: geom.Polyline{geom.Pt(100, 100), geom.Pt(500, 400)}},
+				{Layer: 1, Pl: geom.Polyline{geom.Pt(500, 400), geom.Pt(900, 400)}},
+			},
+			Vias: []detail.ViaUse{{Pos: geom.Pt(500, 400), UpperLayer: 0}},
+		},
+		nil, // unrouted nets are tolerated
+	}
+}
+
+func sampleDesign(t *testing.T) *design.Design {
+	t.Helper()
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRenderBasics(t *testing.T) {
+	d := sampleDesign(t)
+	var sb strings.Builder
+	if err := Render(&sb, d, sampleRoutes(), Options{Layer: 0, ShowVias: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(out, "<polyline") {
+		t.Error("layer-0 route not drawn")
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Error("pads/vias not drawn")
+	}
+	// One chip rect per chip plus the outline rect.
+	if got := strings.Count(out, "<rect"); got != len(d.Chips)+1 {
+		t.Errorf("rect count = %d, want %d", got, len(d.Chips)+1)
+	}
+}
+
+func TestRenderLayerFilter(t *testing.T) {
+	d := sampleDesign(t)
+	var l0, l1, l9 strings.Builder
+	if err := Render(&l0, d, sampleRoutes(), Options{Layer: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Render(&l1, d, sampleRoutes(), Options{Layer: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Render(&l9, d, sampleRoutes(), Options{Layer: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(l0.String(), "<polyline") != 1 {
+		t.Error("layer 0 should draw exactly one polyline")
+	}
+	if strings.Count(l1.String(), "<polyline") != 1 {
+		t.Error("layer 1 should draw exactly one polyline")
+	}
+	if strings.Count(l9.String(), "<polyline") != 0 {
+		t.Error("empty layer should draw no polylines")
+	}
+}
+
+func TestRenderBumps(t *testing.T) {
+	d := sampleDesign(t)
+	var with, without strings.Builder
+	if err := Render(&with, d, nil, Options{ShowBumps: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Render(&without, d, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(with.String(), "<circle") <= strings.Count(without.String(), "<circle") {
+		t.Error("ShowBumps did not add bump circles")
+	}
+}
+
+func TestRenderDefaultScale(t *testing.T) {
+	d := sampleDesign(t)
+	var sb strings.Builder
+	if err := Render(&sb, d, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `width="915"`) {
+		// 3660 µm * 0.25 = 915 SVG units for dense1.
+		t.Errorf("unexpected default scaling: %s", sb.String()[:120])
+	}
+}

@@ -1,0 +1,222 @@
+// Package verify is the independent result verifier: it re-checks a routed
+// result against the §II-B rules and structural requirements without
+// trusting any router state. Production routers ship such verifiers so a
+// routing bug cannot silently sign off its own work.
+//
+// Checks:
+//   - connectivity: every routed net's geometry runs continuously from its
+//     first pin to its second, changing layers only at its recorded vias;
+//   - wire-wire spacing, minimum angle, turn-to-turn distance, keep-outs
+//     (delegated to the DRC in internal/detail);
+//   - via-to-via spacing between different nets (w_v + w_s centre to
+//     centre);
+//   - via-to-wire spacing between different nets (w_v/2 + w_s + w/2);
+//   - vias land strictly inside the package outline.
+package verify
+
+import (
+	"fmt"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+)
+
+// Problem is one verification finding.
+type Problem struct {
+	Kind ProblemKind
+	Net  int
+	// Other is the second net for spacing findings, -1 otherwise.
+	Other int
+	Where geom.Point
+	Msg   string
+}
+
+// ProblemKind classifies verification findings.
+type ProblemKind uint8
+
+// Verification finding kinds.
+const (
+	// BrokenConnectivity: a route does not continuously connect its pins.
+	BrokenConnectivity ProblemKind = iota
+	// ViaViaSpacing: two different nets' vias closer than w_v + w_s.
+	ViaViaSpacing
+	// ViaWireSpacing: a net's wire closer than w_v/2 + w_s + w/2 to
+	// another net's via.
+	ViaWireSpacing
+	// ViaPlacement: a via outside the package outline.
+	ViaPlacement
+	// RuleViolation wraps a DRC violation from internal/detail.
+	RuleViolation
+)
+
+// String returns a short name for the finding kind.
+func (k ProblemKind) String() string {
+	switch k {
+	case BrokenConnectivity:
+		return "connectivity"
+	case ViaViaSpacing:
+		return "via-via-spacing"
+	case ViaWireSpacing:
+		return "via-wire-spacing"
+	case ViaPlacement:
+		return "via-placement"
+	default:
+		return "rule"
+	}
+}
+
+// Report is the outcome of verification.
+type Report struct {
+	Problems []Problem
+	// CheckedNets counts the routed nets examined.
+	CheckedNets int
+}
+
+// OK reports whether verification found nothing.
+func (r *Report) OK() bool { return len(r.Problems) == 0 }
+
+// Count returns the number of findings of one kind.
+func (r *Report) Count(kind ProblemKind) int {
+	n := 0
+	for _, p := range r.Problems {
+		if p.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Verify re-checks the routed result against the design.
+func Verify(d *design.Design, routes []*detail.Route) *Report {
+	rep := &Report{}
+	add := func(p Problem) { rep.Problems = append(rep.Problems, p) }
+
+	// Connectivity and via placement.
+	for ni, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		rep.CheckedNets++
+		if rt.Net != ni {
+			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1,
+				Msg: fmt.Sprintf("route slot %d carries net %d", ni, rt.Net)})
+			continue
+		}
+		if ni >= len(d.Nets) {
+			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1, Msg: "net not in design"})
+			continue
+		}
+		a, b := d.PinPos(d.Nets[ni])
+		if len(rt.Segs) == 0 || len(rt.Segs) != len(rt.Vias)+1 {
+			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1,
+				Msg: fmt.Sprintf("%d segments with %d vias", len(rt.Segs), len(rt.Vias))})
+			continue
+		}
+		first := rt.Segs[0].Pl
+		lastPl := rt.Segs[len(rt.Segs)-1].Pl
+		if len(first) < 2 || len(lastPl) < 2 {
+			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1, Msg: "degenerate segment"})
+			continue
+		}
+		if !first[0].ApproxEq(a) {
+			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1, Where: first[0],
+				Msg: fmt.Sprintf("starts at %v, pin at %v", first[0], a)})
+		}
+		if !lastPl[len(lastPl)-1].ApproxEq(b) {
+			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1, Where: lastPl[len(lastPl)-1],
+				Msg: fmt.Sprintf("ends at %v, pin at %v", lastPl[len(lastPl)-1], b)})
+		}
+		// Each via joins the surrounding segments at its own position.
+		for vi, v := range rt.Vias {
+			prev := rt.Segs[vi].Pl
+			next := rt.Segs[vi+1].Pl
+			if !prev[len(prev)-1].ApproxEq(v.Pos) || !next[0].ApproxEq(v.Pos) {
+				add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1, Where: v.Pos,
+					Msg: fmt.Sprintf("via %d not at segment junction", vi)})
+			}
+			// Adjacent segments of a via must sit on adjacent layers.
+			if dl := rt.Segs[vi].Layer - rt.Segs[vi+1].Layer; dl != 1 && dl != -1 {
+				add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1, Where: v.Pos,
+					Msg: fmt.Sprintf("via %d jumps %d layers", vi, dl)})
+			}
+			if !d.Outline.Contains(v.Pos) {
+				add(Problem{Kind: ViaPlacement, Net: ni, Other: -1, Where: v.Pos,
+					Msg: "via outside outline"})
+			}
+		}
+		// Segments themselves are continuous polylines on valid layers.
+		for si, seg := range rt.Segs {
+			if seg.Layer < 0 || seg.Layer >= d.WireLayers {
+				add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1,
+					Msg: fmt.Sprintf("segment %d on invalid layer %d", si, seg.Layer)})
+			}
+		}
+	}
+
+	// Via-via spacing across different nets. A via spans two wire layers;
+	// vias of different nets conflict when they overlap in any layer —
+	// conservatively, when they are close at all (the via lattice makes
+	// real proximity rare).
+	type viaRef struct {
+		net   int
+		upper int
+		pos   geom.Point
+	}
+	var vias []viaRef
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, v := range rt.Vias {
+			vias = append(vias, viaRef{net: rt.Net, upper: v.UpperLayer, pos: v.Pos})
+		}
+	}
+	viaClear := d.Rules.ViaWidth + d.Rules.MinSpacing
+	for i := 0; i < len(vias); i++ {
+		for j := i + 1; j < len(vias); j++ {
+			if d.SameGroup(vias[i].net, vias[j].net) {
+				continue
+			}
+			if vias[i].upper != vias[j].upper {
+				continue // different via layers never touch
+			}
+			if dd := vias[i].pos.Dist(vias[j].pos); dd < viaClear-1e-9 {
+				rep.Problems = append(rep.Problems, Problem{
+					Kind: ViaViaSpacing, Net: vias[i].net, Other: vias[j].net,
+					Where: vias[i].pos,
+					Msg:   fmt.Sprintf("vias %.2f µm apart, need %.2f", dd, viaClear),
+				})
+			}
+		}
+	}
+
+	// Via-wire spacing: every via against every other net's wires on the
+	// two layers the via touches.
+	for _, v := range vias {
+		for _, layer := range []int{v.upper, v.upper + 1} {
+			for _, rl := range detail.SegmentsOnLayer(routes, layer) {
+				if d.SameGroup(rl.Net, v.net) {
+					continue
+				}
+				limit := d.Rules.ViaWidth/2 + d.Rules.MinSpacing + d.WidthOf(rl.Net)/2
+				dd, _ := rl.Pl.DistToPoint(v.pos)
+				if dd < limit-1e-9 {
+					rep.Problems = append(rep.Problems, Problem{
+						Kind: ViaWireSpacing, Net: v.net, Other: rl.Net, Where: v.pos,
+						Msg: fmt.Sprintf("wire %.2f µm from via, need %.2f", dd, limit),
+					})
+				}
+			}
+		}
+	}
+
+	// Wire rules via the group- and width-aware DRC.
+	for _, violation := range detail.CheckDRCWithDesign(routes, d) {
+		rep.Problems = append(rep.Problems, Problem{
+			Kind: RuleViolation, Net: violation.NetA, Other: violation.NetB,
+			Where: violation.Where, Msg: violation.String(),
+		})
+	}
+	return rep
+}

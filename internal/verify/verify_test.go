@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/router"
+)
+
+func routedDense1(t *testing.T) (*design.Design, []*detail.Route) {
+	t.Helper()
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := router.Route(d, router.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, out.DetailResult.Routes
+}
+
+func TestVerifyRealResult(t *testing.T) {
+	d, routes := routedDense1(t)
+	rep := Verify(d, routes)
+	if rep.CheckedNets != len(d.Nets) {
+		t.Errorf("checked %d nets, want %d", rep.CheckedNets, len(d.Nets))
+	}
+	// Structural classes must be clean on a real result; wire-rule
+	// residuals (RuleViolation) are the known legalization residue.
+	for _, kind := range []ProblemKind{BrokenConnectivity, ViaViaSpacing, ViaPlacement} {
+		if n := rep.Count(kind); n != 0 {
+			for _, p := range rep.Problems {
+				if p.Kind == kind {
+					t.Logf("%s: net %d/%d at %v: %s", kind, p.Net, p.Other, p.Where, p.Msg)
+				}
+			}
+			t.Errorf("%s findings = %d, want 0", kind, n)
+		}
+	}
+	// Via-wire spacing should be essentially clean too (corner discs in
+	// fit routing enforce it); tolerate a tiny residue like the wire DRC.
+	if n := rep.Count(ViaWireSpacing); n > 5 {
+		t.Errorf("via-wire findings = %d", n)
+	}
+	t.Logf("verification: %d findings total (%d rule residuals, %d via-wire)",
+		len(rep.Problems), rep.Count(RuleViolation), rep.Count(ViaWireSpacing))
+}
+
+func TestVerifyDetectsPlantedProblems(t *testing.T) {
+	d, routes := routedDense1(t)
+
+	// Broken endpoint.
+	broken := routes[0]
+	savedPl := broken.Segs[0].Pl
+	broken.Segs[0].Pl = append(geom.Polyline{geom.Pt(0, 0)}, savedPl[1:]...)
+	rep := Verify(d, routes)
+	if rep.Count(BrokenConnectivity) == 0 {
+		t.Error("broken endpoint not detected")
+	}
+	broken.Segs[0].Pl = savedPl
+
+	// Via-via collision: move one net's via onto another's.
+	var na, nb *detail.Route
+	for _, rt := range routes {
+		if rt == nil || len(rt.Vias) == 0 {
+			continue
+		}
+		if na == nil {
+			na = rt
+		} else if rt != na {
+			nb = rt
+			break
+		}
+	}
+	if na == nil || nb == nil {
+		t.Fatal("need two nets with vias")
+	}
+	savedVia := nb.Vias[0]
+	savedSegEnd := nb.Segs[0].Pl[len(nb.Segs[0].Pl)-1]
+	savedNextStart := nb.Segs[1].Pl[0]
+	nb.Vias[0].Pos = na.Vias[0].Pos
+	nb.Vias[0].UpperLayer = na.Vias[0].UpperLayer
+	nb.Segs[0].Pl[len(nb.Segs[0].Pl)-1] = na.Vias[0].Pos
+	nb.Segs[1].Pl[0] = na.Vias[0].Pos
+	rep = Verify(d, routes)
+	if rep.Count(ViaViaSpacing) == 0 {
+		t.Error("via collision not detected")
+	}
+	nb.Vias[0] = savedVia
+	nb.Segs[0].Pl[len(nb.Segs[0].Pl)-1] = savedSegEnd
+	nb.Segs[1].Pl[0] = savedNextStart
+
+	// Via outside the outline.
+	savedVia = na.Vias[0]
+	savedSegEnd = na.Segs[0].Pl[len(na.Segs[0].Pl)-1]
+	savedNextStart = na.Segs[1].Pl[0]
+	out := geom.Pt(d.Outline.Max.X+100, 0)
+	na.Vias[0].Pos = out
+	na.Segs[0].Pl[len(na.Segs[0].Pl)-1] = out
+	na.Segs[1].Pl[0] = out
+	rep = Verify(d, routes)
+	if rep.Count(ViaPlacement) == 0 {
+		t.Error("outside via not detected")
+	}
+	na.Vias[0] = savedVia
+	na.Segs[0].Pl[len(na.Segs[0].Pl)-1] = savedSegEnd
+	na.Segs[1].Pl[0] = savedNextStart
+}
+
+func TestVerifyViaWirePlanted(t *testing.T) {
+	d, routes := routedDense1(t)
+	// Drag a wire vertex of one net onto another net's via position.
+	var viaOwner *detail.Route
+	for _, rt := range routes {
+		if rt != nil && len(rt.Vias) > 0 {
+			viaOwner = rt
+			break
+		}
+	}
+	if viaOwner == nil {
+		t.Fatal("no net with vias")
+	}
+	target := viaOwner.Vias[0]
+	var other *detail.Route
+	for _, rt := range routes {
+		if rt == nil || rt == viaOwner {
+			continue
+		}
+		for _, s := range rt.Segs {
+			if s.Layer == target.UpperLayer {
+				other = rt
+			}
+		}
+		if other != nil {
+			break
+		}
+	}
+	if other == nil {
+		t.Skip("no other net on the via's layer")
+	}
+	for si := range other.Segs {
+		if other.Segs[si].Layer != target.UpperLayer {
+			continue
+		}
+		mid := len(other.Segs[si].Pl) / 2
+		saved := other.Segs[si].Pl[mid]
+		other.Segs[si].Pl[mid] = target.Pos.Add(geom.Pt(1, 0))
+		rep := Verify(d, routes)
+		other.Segs[si].Pl[mid] = saved
+		if rep.Count(ViaWireSpacing) == 0 {
+			t.Error("via-wire encroachment not detected")
+		}
+		return
+	}
+}
+
+func TestProblemKindStrings(t *testing.T) {
+	kinds := []ProblemKind{BrokenConnectivity, ViaViaSpacing, ViaWireSpacing, ViaPlacement, RuleViolation}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{}
+	if !r.OK() {
+		t.Error("empty report should be OK")
+	}
+	r.Problems = append(r.Problems, Problem{Kind: ViaViaSpacing})
+	if r.OK() || r.Count(ViaViaSpacing) != 1 || r.Count(ViaPlacement) != 0 {
+		t.Error("report helpers wrong")
+	}
+}

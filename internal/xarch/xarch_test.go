@@ -1,0 +1,144 @@
+package xarch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/router"
+)
+
+func TestOctilinearizeAxisAndDiagonal(t *testing.T) {
+	// Axis-parallel and exact 45° segments pass through unchanged.
+	for _, pl := range []geom.Polyline{
+		{geom.Pt(0, 0), geom.Pt(10, 0)},
+		{geom.Pt(0, 0), geom.Pt(0, 10)},
+		{geom.Pt(0, 0), geom.Pt(10, 10)},
+		{geom.Pt(0, 0), geom.Pt(-10, 10)},
+	} {
+		out := Octilinearize(pl)
+		if len(out) != 2 {
+			t.Errorf("octilinear segment %v modified: %v", pl, out)
+		}
+	}
+}
+
+func TestOctilinearizeGeneric(t *testing.T) {
+	pl := geom.Polyline{geom.Pt(0, 0), geom.Pt(10, 3)}
+	out := Octilinearize(pl)
+	if len(out) != 3 {
+		t.Fatalf("generic segment should become 2 legs, got %v", out)
+	}
+	// Every leg must be axis-parallel or 45°.
+	for _, s := range out.Segments() {
+		dx := math.Abs(s.B.X - s.A.X)
+		dy := math.Abs(s.B.Y - s.A.Y)
+		if dx > geom.Eps && dy > geom.Eps && math.Abs(dx-dy) > geom.Eps {
+			t.Errorf("leg %v not octilinear", s)
+		}
+	}
+	// Endpoints preserved.
+	if !out[0].ApproxEq(pl[0]) || !out[len(out)-1].ApproxEq(pl[1]) {
+		t.Error("endpoints changed")
+	}
+	// Matches the octilinear metric.
+	want := pl.OctilinearLength()
+	if math.Abs(out.Length()-want) > 1e-9 {
+		t.Errorf("staircase length %v, metric %v", out.Length(), want)
+	}
+}
+
+func TestOctilinearizeShortPolyline(t *testing.T) {
+	if out := Octilinearize(nil); out != nil {
+		t.Error("nil input should pass through")
+	}
+	single := geom.Polyline{geom.Pt(1, 1)}
+	if out := Octilinearize(single); len(out) != 1 {
+		t.Error("single point modified")
+	}
+}
+
+// Property: octilinearization preserves endpoints and never shortens a
+// polyline below its Euclidean length.
+func TestOctilinearizeProperties(t *testing.T) {
+	f := func(coords []float64) bool {
+		if len(coords) < 4 {
+			return true
+		}
+		var pl geom.Polyline
+		for i := 0; i+1 < len(coords) && len(pl) < 12; i += 2 {
+			x := math.Mod(coords[i], 1e3)
+			y := math.Mod(coords[i+1], 1e3)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return true
+			}
+			pl = append(pl, geom.Pt(x, y))
+		}
+		out := Octilinearize(pl)
+		if !out[0].ApproxEq(pl[0]) || !out[len(out)-1].ApproxEq(pl[len(pl)-1]) {
+			return false
+		}
+		return out.Length() >= pl.Length()-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteDense1(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routability != 1 {
+		t.Fatalf("routability = %v", res.Routability)
+	}
+	// Every routed polyline is octilinear.
+	for _, rt := range res.DetailResult.Routes {
+		if rt == nil {
+			continue
+		}
+		for _, seg := range rt.Segs {
+			for _, s := range seg.Pl.Segments() {
+				dx := math.Abs(s.B.X - s.A.X)
+				dy := math.Abs(s.B.Y - s.A.Y)
+				if dx > 1e-6 && dy > 1e-6 && math.Abs(dx-dy) > 1e-6 {
+					t.Fatalf("net %d has non-octilinear segment %v", rt.Net, s)
+				}
+			}
+		}
+	}
+}
+
+func TestXarchLongerThanAnyAngle(t *testing.T) {
+	// The headline claim of Table II: the X-architecture baseline pays more
+	// wirelength than the any-angle router on the same design.
+	d1, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := router.Route(d1, router.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cai, err := Route(d2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cai.Wirelength <= ours.Metrics.Wirelength {
+		t.Errorf("X-architecture %v not longer than any-angle %v",
+			cai.Wirelength, ours.Metrics.Wirelength)
+	}
+	gain := (cai.Wirelength - ours.Metrics.Wirelength) / cai.Wirelength
+	t.Logf("any-angle saves %.1f%% wirelength (paper: 15.7%% on the original suite)", gain*100)
+}

@@ -1,0 +1,57 @@
+package xarch
+
+import (
+	"testing"
+	"time"
+
+	"rdlroute/internal/design"
+)
+
+func TestRouteTimeBudget(t *testing.T) {
+	d, err := design.GenerateDense("dense3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, Options{TimeBudget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("1ms budget must time out")
+	}
+	if res.Routability >= 1 {
+		t.Error("timed-out run should be partial")
+	}
+	// Partial results stay structurally sound: every produced route is
+	// octilinear and counted.
+	routed := 0
+	for _, rt := range res.DetailResult.Routes {
+		if rt != nil {
+			routed++
+		}
+	}
+	if routed != res.RoutedNets {
+		t.Errorf("routed count %d != %d", routed, res.RoutedNets)
+	}
+}
+
+func TestWirelengthMatchesGeometry(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, rt := range res.DetailResult.Routes {
+		if rt == nil {
+			continue
+		}
+		sum += rt.Wirelength()
+	}
+	if diff := sum - res.Wirelength; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("reported wirelength %v != geometry sum %v", res.Wirelength, sum)
+	}
+}
