@@ -1,0 +1,22 @@
+# CI tiers for rdlroute. tier1 is the merge gate; tier2 adds vet and the
+# race detector (slower, run before shipping concurrency-touching changes).
+
+GO ?= go
+
+.PHONY: all tier1 tier2 bench fmt
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	gofmt -l -w .

@@ -13,6 +13,7 @@
 package rdlroute_test
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -57,7 +58,7 @@ func BenchmarkTable2(b *testing.B) {
 	for _, name := range allCases {
 		b.Run(name+"/ours", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := bench.RunOurs(name, benchBudget)
+				r, err := bench.RunOurs(context.Background(), name, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -67,7 +68,7 @@ func BenchmarkTable2(b *testing.B) {
 		})
 		b.Run(name+"/cai", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := bench.RunCai(name, benchBudget)
+				r, err := bench.RunCai(context.Background(), name, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -82,7 +83,7 @@ func BenchmarkTable3(b *testing.B) {
 	for _, name := range allCases {
 		b.Run(name+"/ours", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := bench.RunOurs(name, benchBudget)
+				r, err := bench.RunOurs(context.Background(), name, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -91,7 +92,7 @@ func BenchmarkTable3(b *testing.B) {
 		})
 		b.Run(name+"/aarf", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := bench.RunAARF(name, benchBudget)
+				r, err := bench.RunAARF(context.Background(), name, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -114,7 +115,7 @@ func BenchmarkFig2(b *testing.B) {
 
 func BenchmarkFig14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := bench.Fig14(io.Discard, benchBudget)
+		out, err := bench.Fig14(context.Background(), io.Discard, benchBudget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func benchAblation(b *testing.B, opt router.Options) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				out, err := router.Route(d, opt)
+				out, err := router.Route(context.Background(), d, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -177,6 +178,33 @@ func BenchmarkAblationDiagonal(b *testing.B) {
 	})
 }
 
+// BenchmarkStageBreakdown reports the per-stage wall-clock of the full
+// pipeline as extra metrics (viaplan_ms, rgraph_ms, global_ms, detail_ms,
+// drc_ms) next to ns/op, using the obs.Collector breakdown that RunOurs
+// attaches to every run.
+func BenchmarkStageBreakdown(b *testing.B) {
+	for _, name := range smallCases {
+		b.Run(name, func(b *testing.B) {
+			stageTotals := map[string]float64{}
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunOurs(context.Background(), name, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for stage, sec := range r.StageSeconds {
+					stageTotals[stage] += sec
+				}
+				if r.Counters["global.astar.expansions"] == 0 {
+					b.Fatal("stage breakdown lost the A* expansion counter")
+				}
+			}
+			for _, stage := range []string{"viaplan", "rgraph", "global", "detail", "drc"} {
+				b.ReportMetric(stageTotals[stage]*1000/float64(b.N), stage+"_ms")
+			}
+		})
+	}
+}
+
 // Baseline micro-benchmarks used by the runtime columns.
 
 func BenchmarkXarchOctilinearize(b *testing.B) {
@@ -184,7 +212,7 @@ func BenchmarkXarchOctilinearize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	out, err := router.Route(d, router.Options{TimeBudget: benchBudget})
+	out, err := router.Route(context.Background(), d, router.Options{TimeBudget: benchBudget})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -209,7 +237,7 @@ func BenchmarkAARFNoRebuild(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := aarf.Route(d, aarf.Options{SkipRebuild: true}); err != nil {
+		if _, err := aarf.Route(context.Background(), d, aarf.Options{SkipRebuild: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -30,7 +32,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evaltables: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -39,7 +43,7 @@ func main() {
 var errNothingSelected = errors.New("nothing selected; use -table, -fig, -ablations or -all")
 
 // run is the testable command core.
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("evaltables", flag.ContinueOnError)
 	var (
 		table     = fs.Int("table", 0, "print table 1, 2 or 3")
@@ -68,13 +72,13 @@ func run(args []string, stdout io.Writer) error {
 		did = true
 	}
 	if *table == 2 || *all {
-		if _, err := bench.TableII(stdout, cfg); err != nil {
+		if _, err := bench.TableII(ctx, stdout, cfg); err != nil {
 			return err
 		}
 		did = true
 	}
 	if *table == 3 || *all {
-		if _, err := bench.TableIII(stdout, cfg); err != nil {
+		if _, err := bench.TableIII(ctx, stdout, cfg); err != nil {
 			return err
 		}
 		did = true
@@ -92,7 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		out, err := bench.Fig14(f, *budget)
+		out, err := bench.Fig14(ctx, f, *budget)
 		if err != nil {
 			f.Close()
 			return err
@@ -109,7 +113,7 @@ func run(args []string, stdout io.Writer) error {
 		if name == "" {
 			name = "dense3"
 		}
-		if err := bench.PrintAblations(stdout, name); err != nil {
+		if err := bench.PrintAblations(ctx, stdout, name); err != nil {
 			return err
 		}
 		did = true

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,14 +10,14 @@ import (
 
 func TestRunNothingSelected(t *testing.T) {
 	var sb strings.Builder
-	if err := run(nil, &sb); err != errNothingSelected {
+	if err := run(context.Background(), nil, &sb); err != errNothingSelected {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-table", "1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-table", "1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "dense5") {
@@ -26,7 +27,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunTable2Subset(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-table", "2", "-cases", "dense1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-table", "2", "-cases", "dense1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -40,7 +41,7 @@ func TestRunTable2Subset(t *testing.T) {
 
 func TestRunFig2(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-fig", "2"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "2"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "channel utilization") {
@@ -54,7 +55,7 @@ func TestRunFig14(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-fig", "14", "-out", dir, "-budget", "60s"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-fig", "14", "-out", dir, "-budget", "60s"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig14_dense5_layer1.svg"))

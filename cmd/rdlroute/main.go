@@ -1,15 +1,22 @@
 // Command rdlroute routes a design with the any-angle RDL router and
 // reports routability, wirelength, runtime and DRC status. It can also run
-// the two baseline routers, print geometry statistics, and emit an SVG of
-// any wire layer.
+// the two baseline routers, print geometry statistics, emit an SVG of any
+// wire layer, write a JSON-lines event trace, and show live progress.
 //
 // Usage:
 //
 //	rdlroute [-router ours|cai|aarf] [-budget 30s] [-svg out.svg -layer 0]
-//	         [-routes out.json] [-stats] (-design file.json | -case dense1)
+//	         [-routes out.json] [-stats] [-trace out.jsonl] [-progress]
+//	         [-strict] (-design file.json | -case dense1)
+//
+// Interrupting the process (SIGINT/SIGTERM) cancels routing; the partial
+// result routed so far is still reported. With -strict the process exits
+// with code 3 when the time budget cut the run short and code 4 when nets
+// were left unrouted.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -17,11 +24,14 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rdlroute/internal/aarf"
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 	"rdlroute/internal/stats"
 	"rdlroute/internal/svg"
@@ -32,13 +42,23 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rdlroute: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		code := 1
+		switch {
+		case errors.Is(err, router.ErrTimeout):
+			code = 3
+		case errors.Is(err, router.ErrUnroutable):
+			code = 4
+		}
+		log.Print(err)
+		os.Exit(code)
 	}
 }
 
 // run is the testable command core.
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdlroute", flag.ContinueOnError)
 	var (
 		designPath = fs.String("design", "", "design JSON file to route")
@@ -50,6 +70,9 @@ func run(args []string, stdout io.Writer) error {
 		routesPath = fs.String("routes", "", "write routed geometry JSON to this file")
 		showStats  = fs.Bool("stats", false, "print geometry statistics (angle histogram, per-layer WL)")
 		doVerify   = fs.Bool("verify", false, "run the independent result verifier and print its summary")
+		tracePath  = fs.String("trace", "", "write a JSON-lines event trace (spans, counters, progress) to this file")
+		progress   = fs.Bool("progress", false, "print live per-stage progress to stderr")
+		strict     = fs.Bool("strict", false, "fail with exit code 3 on timeout, 4 on unrouted nets")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,38 +92,74 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var routes []*detail.Route
-	switch *which {
-	case "ours":
-		out, err := router.Route(d, router.Options{TimeBudget: *budget})
+	var recs []obs.Recorder
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
 		if err != nil {
 			return err
 		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}()
+		recs = append(recs, obs.NewJSONL(f))
+	}
+	if *progress {
+		recs = append(recs, obs.NewProgress(os.Stderr, 0))
+	}
+	rec := obs.Multi(recs...)
+
+	// Cancellation (Ctrl-C) surfaces as an error from the router together
+	// with the partial result; the summary line is printed either way so the
+	// work done so far is never lost.
+	var routes []*detail.Route
+	var routeErr error
+	timedOut := false
+	unrouted := 0
+	switch *which {
+	case "ours":
+		out, err := router.Route(ctx, d, router.Options{TimeBudget: *budget, Rec: rec})
+		if out == nil {
+			return err
+		}
+		routeErr = err
 		m := out.Metrics
 		fmt.Fprintf(stdout, "router=ours design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm vias=%d runtime=%v drc=%d timedOut=%v\n",
 			d.Name, m.RoutedNets, m.TotalNets, m.Routability*100, m.Wirelength,
 			m.Vias, m.Runtime.Round(time.Millisecond), m.DRCViolations, m.TimedOut)
 		routes = out.DetailResult.Routes
+		timedOut = m.TimedOut
+		unrouted = m.TotalNets - m.RoutedNets
 	case "cai":
-		res, err := xarch.Route(d, xarch.Options{TimeBudget: *budget})
-		if err != nil {
+		res, err := xarch.Route(ctx, d, xarch.Options{TimeBudget: *budget, Rec: rec})
+		if res == nil {
 			return err
 		}
+		routeErr = err
 		fmt.Fprintf(stdout, "router=cai design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm runtime=%v timedOut=%v\n",
 			d.Name, res.RoutedNets, len(d.Nets), res.Routability*100, res.Wirelength,
 			res.Runtime.Round(time.Millisecond), res.TimedOut)
 		routes = res.DetailResult.Routes
+		timedOut = res.TimedOut
+		unrouted = len(d.Nets) - res.RoutedNets
 	case "aarf":
-		res, err := aarf.Route(d, aarf.Options{TimeBudget: *budget})
-		if err != nil {
+		res, err := aarf.Route(ctx, d, aarf.Options{TimeBudget: *budget, Rec: rec})
+		if res == nil {
 			return err
 		}
+		routeErr = err
 		fmt.Fprintf(stdout, "router=aarf design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm runtime=%v timedOut=%v\n",
 			d.Name, res.RoutedNets, len(d.Nets), res.Routability*100, res.Wirelength,
 			res.Runtime.Round(time.Millisecond), res.TimedOut)
 		routes = res.DetailResult.Routes
+		timedOut = res.TimedOut
+		unrouted = len(d.Nets) - res.RoutedNets
 	default:
 		return fmt.Errorf("unknown -router %q", *which)
+	}
+	if routeErr != nil {
+		return routeErr
 	}
 
 	if *showStats {
@@ -143,6 +202,14 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *routesPath)
+	}
+	if *strict {
+		if timedOut {
+			return fmt.Errorf("run exceeded the time budget: %w", router.ErrTimeout)
+		}
+		if unrouted > 0 {
+			return fmt.Errorf("%d nets left unrouted: %w", unrouted, router.ErrUnroutable)
+		}
 	}
 	return nil
 }

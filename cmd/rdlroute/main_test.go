@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,21 +14,21 @@ import (
 
 func TestRunNoInput(t *testing.T) {
 	var sb strings.Builder
-	if err := run(nil, &sb); err == nil {
+	if err := run(context.Background(), nil, &sb); err == nil {
 		t.Error("no input must error")
 	}
 }
 
 func TestRunUnknownRouter(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-case", "dense1", "-router", "magic"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-case", "dense1", "-router", "magic"}, &sb); err == nil {
 		t.Error("unknown router must error")
 	}
 }
 
 func TestRunCaseOurs(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-case", "dense1"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-case", "dense1"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -41,7 +42,7 @@ func TestRunCaseOurs(t *testing.T) {
 func TestRunBaselines(t *testing.T) {
 	for _, r := range []string{"cai", "aarf"} {
 		var sb strings.Builder
-		if err := run([]string{"-case", "dense1", "-router", r}, &sb); err != nil {
+		if err := run(context.Background(), []string{"-case", "dense1", "-router", r}, &sb); err != nil {
 			t.Fatalf("%s: %v", r, err)
 		}
 		if !strings.Contains(sb.String(), "router="+r) {
@@ -64,7 +65,7 @@ func TestRunDesignFileAndOutputs(t *testing.T) {
 	routesPath := filepath.Join(dir, "routes.json")
 
 	var sb strings.Builder
-	err = run([]string{
+	err = run(context.Background(), []string{
 		"-design", designPath,
 		"-svg", svgPath, "-layer", "0",
 		"-routes", routesPath,
@@ -104,16 +105,72 @@ func TestRunDesignFileAndOutputs(t *testing.T) {
 	}
 }
 
+func TestRunTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.jsonl")
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-case", "dense1", "-trace", tracePath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every line is valid JSON with the mandatory fields; the five
+	// top-level pipeline stages all span; the A* and DP counters are live.
+	stages := map[string]bool{}
+	counters := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			TMs   *float64 `json:"t_ms"`
+			Ev    string   `json:"ev"`
+			Stage string   `json:"stage"`
+			Name  string   `json:"name"`
+			Delta int64    `json:"delta"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %q: %v", line, err)
+		}
+		if ev.TMs == nil || ev.Ev == "" {
+			t.Fatalf("trace line missing t_ms/ev: %q", line)
+		}
+		if ev.Ev == "stage_end" {
+			stages[ev.Stage] = true
+		}
+		if ev.Ev == "count" {
+			counters[ev.Name] += ev.Delta
+		}
+	}
+	for _, want := range []string{"viaplan", "rgraph", "global", "detail", "drc"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage_end for %q", want)
+		}
+	}
+	if counters["global.astar.expansions"] == 0 {
+		t.Error("trace reports zero A* expansions")
+	}
+	if counters["detail.dp.heap_ops"] == 0 {
+		t.Error("trace reports zero DP heap operations")
+	}
+}
+
+func TestRunStrictFlagCleanRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-case", "dense1", "-strict"}, &sb); err != nil {
+		t.Fatalf("strict must pass on a clean full route: %v", err)
+	}
+}
+
 func TestRunMissingDesignFile(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-design", "/no/such/file.json"}, &sb); err == nil {
+	if err := run(context.Background(), []string{"-design", "/no/such/file.json"}, &sb); err == nil {
 		t.Error("missing design file must error")
 	}
 }
 
 func TestRunVerifyFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-case", "dense1", "-verify"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-case", "dense1", "-verify"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "verify: 22 nets checked") {

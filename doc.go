@@ -8,6 +8,8 @@
 //   - internal/geom     — 2-D computational geometry substrate
 //   - internal/dt       — Bowyer–Watson Delaunay triangulation
 //   - internal/design   — design model + dense1–dense5 benchmark generator
+//   - internal/obs      — observability: stage spans, counters, progress,
+//     and the context/deadline run-control helpers
 //   - internal/viaplan  — candidate-via planning
 //   - internal/rgraph   — multi-layer routing graph (Eq. 1/Eq. 2 capacities)
 //   - internal/global   — crossing-aware A*, RUDY ordering, Eq. 3 refinement
@@ -20,6 +22,13 @@
 //   - internal/verify   — independent result verifier
 //   - internal/bench    — evaluation harness for every table and figure
 //
+// The pipeline is context-first: router.Route (and both baselines) take a
+// context.Context whose deadline degrades the run to a partial result
+// (Metrics.TimedOut) while explicit cancellation aborts with an error:
+//
+//	out, err := router.Route(ctx, d, router.Options{TimeBudget: 30 * time.Second})
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// per-experiment index, EXPERIMENTS.md for paper-vs-measured results, and
+// doc/OBSERVABILITY.md for the tracing/metrics layer.
 package rdlroute

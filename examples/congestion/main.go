@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ours, err := router.Route(d, router.Options{TimeBudget: 60 * time.Second})
+	ours, err := router.Route(context.Background(), d, router.Options{TimeBudget: 60 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cai, err := xarch.Route(d2, xarch.Options{TimeBudget: 60 * time.Second})
+	cai, err := xarch.Route(context.Background(), d2, xarch.Options{TimeBudget: 60 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

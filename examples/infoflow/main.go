@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := router.Route(d, router.Options{TimeBudget: 60 * time.Second})
+	out, err := router.Route(context.Background(), d, router.Options{TimeBudget: 60 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

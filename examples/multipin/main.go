@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 	}
 	fmt.Printf("keep-out %v added\n", keepout.Rect)
 
-	out, err := router.Route(d, router.Options{TimeBudget: 30 * time.Second})
+	out, err := router.Route(context.Background(), d, router.Options{TimeBudget: 30 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -25,7 +26,7 @@ func main() {
 	fmt.Printf("design %s: %d chips, %d I/O pads, %d bump pads, %d nets, %d wire layers\n",
 		s.Name, s.Chips, s.IOPads, s.BumpPads, s.Nets, s.WireLayers)
 
-	out, err := router.Route(d, router.Options{TimeBudget: 30 * time.Second})
+	out, err := router.Route(context.Background(), d, router.Options{TimeBudget: 30 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,6 +22,7 @@
 package aarf
 
 import (
+	"context"
 	"time"
 
 	"rdlroute/internal/design"
@@ -29,6 +30,7 @@ import (
 	"rdlroute/internal/dt"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -48,18 +50,29 @@ type Options struct {
 	// a rebuilt constrained triangulation blocks its own track plus the
 	// clearance corridor on both sides.
 	WasteFactor int
+	// Rec receives spans and counters from the underlying pipeline stages.
+	// Nil selects the no-op recorder.
+	Rec obs.Recorder
 }
 
 // Route runs the AARF* baseline and returns a router.Output-compatible
 // result as separate pieces (to avoid an import cycle the facade types stay
-// in the caller's hands).
-func Route(d *design.Design, opt Options) (*Result, error) {
+// in the caller's hands). Deadlines (ctx or TimeBudget) stop routing and
+// report the partial result with TimedOut set; explicit cancellation
+// returns the partial result together with ctx.Err().
+func Route(ctx context.Context, d *design.Design, opt Options) (*Result, error) {
 	start := time.Now()
-	plan, err := viaplan.Build(d, opt.Via)
+	ctx, cancel := obs.WithBudget(ctx, opt.TimeBudget, nil)
+	defer cancel()
+	vopt := opt.Via
+	if vopt.Rec == nil {
+		vopt.Rec = opt.Rec
+	}
+	plan, err := viaplan.Build(d, vopt)
 	if err != nil {
 		return nil, err
 	}
-	g, err := rgraph.Build(d, plan, rgraph.Options{NaiveCornerCapacity: true})
+	g, err := rgraph.Build(d, plan, rgraph.Options{NaiveCornerCapacity: true, Rec: opt.Rec})
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +86,7 @@ func Route(d *design.Design, opt Options) (*Result, error) {
 		DisableDiagonalRefinement: true,
 		MaxOrderRounds:            1,
 		EdgeUsePerNet:             waste,
+		Rec:                       opt.Rec,
 	}
 	// The growing per-layer point sets for the rebuild emulation: every
 	// committed route's vertices join the constraint set of its layers, so
@@ -114,25 +128,12 @@ func Route(d *design.Design, opt Options) (*Result, error) {
 			}
 		}
 	}
-	deadline := time.Time{}
-	timedOut := false
-	if opt.TimeBudget > 0 {
-		deadline = start.Add(opt.TimeBudget)
-		gopt.ShouldStop = func() bool {
-			if time.Now().After(deadline) {
-				timedOut = true
-				return true
-			}
-			return false
-		}
-	}
-
 	gr = global.New(g, gopt)
-	gres, err := gr.Run()
-	if err != nil {
-		return nil, err
+	gres, gerr := gr.Run(ctx)
+	if gres == nil {
+		return nil, gerr
 	}
-	dres, err := detail.Run(gr, gres, detail.Options{})
+	dres, err := detail.Run(ctx, gr, gres, detail.Options{Rec: opt.Rec})
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +143,7 @@ func Route(d *design.Design, opt Options) (*Result, error) {
 		GlobalResult: gres,
 		DetailResult: dres,
 		Runtime:      time.Since(start),
-		TimedOut:     timedOut,
+		TimedOut:     obs.TimedOut(ctx),
 	}
 	res.Routability = gres.Routability()
 	res.Wirelength = dres.Wirelength
@@ -150,6 +151,9 @@ func Route(d *design.Design, opt Options) (*Result, error) {
 		if rt != nil {
 			res.RoutedNets++
 		}
+	}
+	if gerr != nil && !res.TimedOut {
+		return res, gerr
 	}
 	return res, nil
 }

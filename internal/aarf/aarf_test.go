@@ -1,6 +1,7 @@
 package aarf
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -13,7 +14,7 @@ func TestRouteDense1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(d, Options{SkipRebuild: true})
+	res, err := Route(context.Background(), d, Options{SkipRebuild: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestRebuildCostsTime(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := Route(d, Options{SkipRebuild: true}); err != nil {
+	if _, err := Route(context.Background(), d, Options{SkipRebuild: true}); err != nil {
 		t.Fatal(err)
 	}
 	fast := time.Since(start)
@@ -54,7 +55,7 @@ func TestRebuildCostsTime(t *testing.T) {
 		t.Fatal(err)
 	}
 	start = time.Now()
-	if _, err := Route(d2, Options{}); err != nil {
+	if _, err := Route(context.Background(), d2, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	slow := time.Since(start)
@@ -68,7 +69,7 @@ func TestTimeBudgetCutsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(d, Options{TimeBudget: time.Millisecond})
+	res, err := Route(context.Background(), d, Options{TimeBudget: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestNeverBeatsOursOnRoutability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ours, err := router.Route(d, router.Options{})
+		ours, err := router.Route(context.Background(), d, router.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestNeverBeatsOursOnRoutability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		aa, err := Route(d2, Options{SkipRebuild: true})
+		aa, err := Route(context.Background(), d2, Options{SkipRebuild: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -32,12 +33,12 @@ type AblationRun struct {
 	Extra int
 }
 
-func runWith(name string, opt router.Options) (AblationRun, error) {
+func runWith(ctx context.Context, name string, opt router.Options) (AblationRun, error) {
 	d, err := design.GenerateDense(name)
 	if err != nil {
 		return AblationRun{}, err
 	}
-	out, err := router.Route(d, opt)
+	out, err := router.Route(ctx, d, opt)
 	if err != nil {
 		return AblationRun{}, err
 	}
@@ -53,12 +54,12 @@ func runWith(name string, opt router.Options) (AblationRun, error) {
 // the naive min-of-edge-capacities estimate of Fig. 6(a). The naive model
 // over-admits wires around corners, which shows up as DRC spacing
 // violations.
-func AblationCornerCapacity(name string) (*AblationResult, error) {
-	full, err := runWith(name, router.Options{})
+func AblationCornerCapacity(ctx context.Context, name string) (*AblationResult, error) {
+	full, err := runWith(ctx, name, router.Options{})
 	if err != nil {
 		return nil, err
 	}
-	reduced, err := runWith(name, router.Options{Graph: rgraph.Options{NaiveCornerCapacity: true}})
+	reduced, err := runWith(ctx, name, router.Options{Graph: rgraph.Options{NaiveCornerCapacity: true}})
 	if err != nil {
 		return nil, err
 	}
@@ -67,12 +68,12 @@ func AblationCornerCapacity(name string) (*AblationResult, error) {
 
 // AblationNetOrder compares RUDY congestion-aware initial ordering against
 // plain netlist order.
-func AblationNetOrder(name string) (*AblationResult, error) {
-	full, err := runWith(name, router.Options{})
+func AblationNetOrder(ctx context.Context, name string) (*AblationResult, error) {
+	full, err := runWith(ctx, name, router.Options{})
 	if err != nil {
 		return nil, err
 	}
-	reduced, err := runWith(name, router.Options{Global: global.Options{DisableRUDYOrder: true}})
+	reduced, err := runWith(ctx, name, router.Options{Global: global.Options{DisableRUDYOrder: true}})
 	if err != nil {
 		return nil, err
 	}
@@ -81,12 +82,12 @@ func AblationNetOrder(name string) (*AblationResult, error) {
 
 // AblationAPAdjust compares the DP access-point adjustment against fixed
 // even distribution (the wirelength mechanism of §III-B1).
-func AblationAPAdjust(name string) (*AblationResult, error) {
-	full, err := runWith(name, router.Options{})
+func AblationAPAdjust(ctx context.Context, name string) (*AblationResult, error) {
+	full, err := runWith(ctx, name, router.Options{})
 	if err != nil {
 		return nil, err
 	}
-	reduced, err := runWith(name, router.Options{Detail: detail.Options{SkipAdjust: true}})
+	reduced, err := runWith(ctx, name, router.Options{Detail: detail.Options{SkipAdjust: true}})
 	if err != nil {
 		return nil, err
 	}
@@ -95,12 +96,12 @@ func AblationAPAdjust(name string) (*AblationResult, error) {
 
 // AblationDiagonal compares diagonal utility refinement (Eq. 3) against no
 // refinement.
-func AblationDiagonal(name string) (*AblationResult, error) {
-	full, err := runWith(name, router.Options{})
+func AblationDiagonal(ctx context.Context, name string) (*AblationResult, error) {
+	full, err := runWith(ctx, name, router.Options{})
 	if err != nil {
 		return nil, err
 	}
-	reduced, err := runWith(name, router.Options{Global: global.Options{DisableDiagonalRefinement: true}})
+	reduced, err := runWith(ctx, name, router.Options{Global: global.Options{DisableDiagonalRefinement: true}})
 	if err != nil {
 		return nil, err
 	}
@@ -108,15 +109,15 @@ func AblationDiagonal(name string) (*AblationResult, error) {
 }
 
 // PrintAblations runs all four ablations on the given case and prints them.
-func PrintAblations(w io.Writer, name string) error {
-	runs := []func(string) (*AblationResult, error){
+func PrintAblations(ctx context.Context, w io.Writer, name string) error {
+	runs := []func(context.Context, string) (*AblationResult, error){
 		AblationCornerCapacity, AblationNetOrder, AblationAPAdjust, AblationDiagonal,
 	}
 	fmt.Fprintf(w, "Ablations on %s\n", name)
 	fmt.Fprintf(w, "%-26s | %11s %11s | %12s %12s | %6s %6s\n",
 		"mechanism", "R%full", "R%reduced", "WLfull", "WLreduced", "DRCf", "DRCr")
 	for _, run := range runs {
-		res, err := run(name)
+		res, err := run(ctx, name)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"rdlroute/internal/aarf"
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 	"rdlroute/internal/xarch"
 )
@@ -55,19 +57,30 @@ type CaseRun struct {
 	TotalNets     int
 	DRCViolations int
 	TimedOut      bool
+	// StageSeconds is the per-stage wall-clock breakdown (span name →
+	// seconds); StageOrder lists the names in first-seen order.
+	StageSeconds map[string]float64
+	StageOrder   []string
+	// Counters are the pipeline counters of the run (A* expansions, DP heap
+	// operations, rip-ups, …).
+	Counters map[string]int64
 }
 
 // RunOurs routes one benchmark with the full any-angle flow.
-func RunOurs(name string, budget time.Duration) (*CaseRun, error) {
+func RunOurs(ctx context.Context, name string, budget time.Duration) (*CaseRun, error) {
 	d, err := design.GenerateDense(name)
 	if err != nil {
 		return nil, err
 	}
-	out, err := router.Route(d, router.Options{TimeBudget: budget})
+	col := obs.NewCollector()
+	out, err := router.Route(ctx, d, router.Options{TimeBudget: budget, Rec: col})
 	if err != nil {
 		return nil, err
 	}
 	return &CaseRun{
+		StageSeconds:  col.StageSeconds(),
+		StageOrder:    col.StageOrder(),
+		Counters:      col.Counters(),
 		Case:          name,
 		Router:        "Ours",
 		Routability:   out.Metrics.Routability * 100,
@@ -82,17 +95,21 @@ func RunOurs(name string, budget time.Duration) (*CaseRun, error) {
 }
 
 // RunCai routes one benchmark with the traditional X-architecture baseline.
-func RunCai(name string, budget time.Duration) (*CaseRun, error) {
+func RunCai(ctx context.Context, name string, budget time.Duration) (*CaseRun, error) {
 	d, err := design.GenerateDense(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := xarch.Route(d, xarch.Options{TimeBudget: budget})
+	col := obs.NewCollector()
+	res, err := xarch.Route(ctx, d, xarch.Options{TimeBudget: budget, Rec: col})
 	if err != nil {
 		return nil, err
 	}
 	vs := detail.CheckDRC(res.DetailResult.Routes, d.Rules, d.WireLayers)
 	return &CaseRun{
+		StageSeconds:  col.StageSeconds(),
+		StageOrder:    col.StageOrder(),
+		Counters:      col.Counters(),
 		Case:          name,
 		Router:        "Cai",
 		Routability:   res.Routability * 100,
@@ -107,17 +124,21 @@ func RunCai(name string, budget time.Duration) (*CaseRun, error) {
 }
 
 // RunAARF routes one benchmark with the AARF* baseline.
-func RunAARF(name string, budget time.Duration) (*CaseRun, error) {
+func RunAARF(ctx context.Context, name string, budget time.Duration) (*CaseRun, error) {
 	d, err := design.GenerateDense(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := aarf.Route(d, aarf.Options{TimeBudget: budget})
+	col := obs.NewCollector()
+	res, err := aarf.Route(ctx, d, aarf.Options{TimeBudget: budget, Rec: col})
 	if err != nil {
 		return nil, err
 	}
 	vs := detail.CheckDRC(res.DetailResult.Routes, d.Rules, d.WireLayers)
 	return &CaseRun{
+		StageSeconds:  col.StageSeconds(),
+		StageOrder:    col.StageOrder(),
+		Counters:      col.Counters(),
 		Case:          name,
 		Router:        "AARF*",
 		Routability:   res.Routability * 100,

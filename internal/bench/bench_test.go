@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"math"
 	"strings"
@@ -97,7 +98,7 @@ func TestGeomean(t *testing.T) {
 }
 
 func TestRunOursSmall(t *testing.T) {
-	r, err := RunOurs("dense1", 30*time.Second)
+	r, err := RunOurs(context.Background(), "dense1", 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestTableIIShapeSmall(t *testing.T) {
 	// The headline Table II shape on the smallest case: both 100% routable,
 	// the traditional router strictly longer.
 	var sb strings.Builder
-	cmp, err := TableII(&sb, Config{Cases: []string{"dense1"}})
+	cmp, err := TableII(context.Background(), &sb, Config{Cases: []string{"dense1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTableIIShapeSmall(t *testing.T) {
 
 func TestTableIIIShapeSmall(t *testing.T) {
 	var sb strings.Builder
-	cmp, err := TableIII(&sb, Config{Cases: []string{"dense1"}})
+	cmp, err := TableIII(context.Background(), &sb, Config{Cases: []string{"dense1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestFig14Renders(t *testing.T) {
 		t.Skip("dense5 route in -short mode")
 	}
 	var sb strings.Builder
-	out, err := Fig14(&sb, 60*time.Second)
+	out, err := Fig14(context.Background(), &sb, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFig14Renders(t *testing.T) {
 }
 
 func TestAblationAPAdjustShape(t *testing.T) {
-	res, err := AblationAPAdjust("dense1")
+	res, err := AblationAPAdjust(context.Background(), "dense1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestPrintAblations(t *testing.T) {
 		t.Skip("ablation sweep in -short mode")
 	}
 	var sb strings.Builder
-	if err := PrintAblations(&sb, "dense1"); err != nil {
+	if err := PrintAblations(context.Background(), &sb, "dense1"); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"corner-capacity", "RUDY", "AP-adjustment", "diagonal"} {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -78,12 +79,12 @@ func PrintFig2(w io.Writer, rules design.Rules) {
 
 // Fig14 routes dense5 and writes the first wire layer as SVG (Fig. 14 of
 // the paper). It returns the routing metrics for the caption.
-func Fig14(w io.Writer, budget time.Duration) (*router.Output, error) {
+func Fig14(ctx context.Context, w io.Writer, budget time.Duration) (*router.Output, error) {
 	d, err := design.GenerateDense("dense5")
 	if err != nil {
 		return nil, err
 	}
-	out, err := router.Route(d, router.Options{TimeBudget: budget})
+	out, err := router.Route(ctx, d, router.Options{TimeBudget: budget})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -32,16 +33,16 @@ type Comparison struct {
 }
 
 // runTable executes ours plus one baseline over all cases.
-func runTable(cfg Config, baseline string,
-	run func(string, time.Duration) (*CaseRun, error)) (*Comparison, error) {
+func runTable(ctx context.Context, cfg Config, baseline string,
+	run func(context.Context, string, time.Duration) (*CaseRun, error)) (*Comparison, error) {
 	cfg = cfg.withDefaults()
 	cmp := &Comparison{Baseline: baseline}
 	for _, name := range cfg.Cases {
-		b, err := run(name, cfg.TimeBudget)
+		b, err := run(ctx, name, cfg.TimeBudget)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s on %s: %w", baseline, name, err)
 		}
-		o, err := RunOurs(name, cfg.TimeBudget)
+		o, err := RunOurs(ctx, name, cfg.TimeBudget)
 		if err != nil {
 			return nil, fmt.Errorf("bench: ours on %s: %w", name, err)
 		}
@@ -52,8 +53,8 @@ func runTable(cfg Config, baseline string,
 
 // TableII runs and prints the comparison against the traditional RDL router
 // (Table II of the paper).
-func TableII(w io.Writer, cfg Config) (*Comparison, error) {
-	cmp, err := runTable(cfg, "Cai", RunCai)
+func TableII(ctx context.Context, w io.Writer, cfg Config) (*Comparison, error) {
+	cmp, err := runTable(ctx, cfg, "Cai", RunCai)
 	if err != nil {
 		return nil, err
 	}
@@ -63,8 +64,8 @@ func TableII(w io.Writer, cfg Config) (*Comparison, error) {
 
 // TableIII runs and prints the comparison against the AARF* any-angle
 // baseline (Table III of the paper).
-func TableIII(w io.Writer, cfg Config) (*Comparison, error) {
-	cmp, err := runTable(cfg, "AARF*", RunAARF)
+func TableIII(ctx context.Context, w io.Writer, cfg Config) (*Comparison, error) {
+	cmp, err := runTable(ctx, cfg, "AARF*", RunAARF)
 	if err != nil {
 		return nil, err
 	}
@@ -99,5 +100,26 @@ func printComparison(w io.Writer, title string, cmp *Comparison) {
 	}
 	fmt.Fprintf(w, "%-8s | %9.5f %9d | %12.3f %12d | %10.2f %10d\n",
 		"Comp.", geomean(routRatios), 1, geomean(wlRatios), 1, geomean(rtRatios), 1)
+	for _, row := range cmp.Rows {
+		printStageBreakdown(w, row[1])
+	}
+	fmt.Fprintln(w)
+}
+
+// topStages are the pipeline's top-level span names, in pipeline order.
+var topStages = []string{"viaplan", "rgraph", "global", "detail", "drc"}
+
+// printStageBreakdown prints one compact per-stage runtime line for a run
+// that carries a Collector breakdown (sub-spans are skipped).
+func printStageBreakdown(w io.Writer, r *CaseRun) {
+	if len(r.StageSeconds) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  stages(%s, %s):", r.Router, r.Case)
+	for _, name := range topStages {
+		if sec, ok := r.StageSeconds[name]; ok {
+			fmt.Fprintf(w, " %s=%.3fs", name, sec)
+		}
+	}
 	fmt.Fprintln(w)
 }

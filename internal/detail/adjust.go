@@ -2,9 +2,11 @@ package detail
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 )
 
@@ -47,8 +49,9 @@ func (h *pnHeap) Pop() interface{} {
 }
 
 // AdjustAccessPoints runs the full adjustment pass and returns the number of
-// partial nets processed.
-func (d *Detailer) AdjustAccessPoints() int {
+// partial nets processed. Cancelling ctx stops the pass between partial
+// nets; the remaining access points keep their current positions.
+func (d *Detailer) AdjustAccessPoints(ctx context.Context) int {
 	d.refreshAllRanges()
 
 	// Build partial nets: maximal runs of movable APs per chain.
@@ -68,13 +71,18 @@ func (d *Detailer) AdjustAccessPoints() int {
 				j++
 			}
 			heap.Push(&h, &partialNet{net: net, startElem: i, length: j - i})
+			d.dpHeapOps++
 			i = j
 		}
 	}
 
 	processed := 0
 	for h.Len() > 0 {
+		if obs.Stopped(ctx) {
+			break
+		}
 		pn := heap.Pop(&h).(*partialNet)
+		d.dpHeapOps++
 		if d.runDP(pn) {
 			processed++
 		}

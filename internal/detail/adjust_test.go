@@ -1,6 +1,7 @@
 package detail
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestAdjustmentNeverLengthensAnyChain(t *testing.T) {
 			beforeTotal += before[ni]
 		}
 	}
-	if n := d.AdjustAccessPoints(); n == 0 {
+	if n := d.AdjustAccessPoints(context.Background()); n == 0 {
 		t.Fatal("no partial nets processed")
 	}
 	var afterTotal float64
@@ -60,7 +61,7 @@ func TestAdjustmentNeverLengthensAnyChain(t *testing.T) {
 
 func TestAdjustmentRespectsRanges(t *testing.T) {
 	_, d := newDetailer(t, "dense1")
-	d.AdjustAccessPoints()
+	d.AdjustAccessPoints(context.Background())
 	for i := range d.APs {
 		ap := &d.APs[i]
 		if ap.T < 0-1e-9 || ap.T > 1+1e-9 {
@@ -76,7 +77,7 @@ func TestAdjustmentKeepsSequenceOrder(t *testing.T) {
 	// After adjustment, access points on every edge must still appear in
 	// sequence order along the edge (crossing-freedom depends on it).
 	r, d := newDetailer(t, "dense2")
-	d.AdjustAccessPoints()
+	d.AdjustAccessPoints(context.Background())
 	for id := range d.G.Nodes {
 		node := d.G.Node(rgraph.NodeID(id))
 		if node.Kind != rgraph.EdgeNode {
@@ -103,7 +104,7 @@ func TestDPBeatsGreedyOnChains(t *testing.T) {
 	// projects each access point onto the line between its chain
 	// neighbours one at a time (a strictly weaker optimizer).
 	_, dpD := newDetailer(t, "dense1")
-	dpD.AdjustAccessPoints()
+	dpD.AdjustAccessPoints(context.Background())
 	var dpTotal float64
 	for ni := range dpD.Chains {
 		if dpD.Chains[ni] != nil {

@@ -10,6 +10,7 @@ import (
 
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -88,6 +89,12 @@ type Detailer struct {
 	guides []*global.Guide
 	// processed counts partial nets handled by the DP pass.
 	processed int
+
+	rec obs.Recorder
+	// Counters flushed to rec at the end of Run.
+	dpHeapOps   int64 // partial-net heap pushes + pops
+	fitTangents int64 // successful tangent constructions (Fig. 12)
+	fitRetries  int64 // whole-pass retries with enlarged clearance
 }
 
 type apKey struct {

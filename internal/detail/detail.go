@@ -1,11 +1,13 @@
 package detail
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 )
 
@@ -27,6 +29,9 @@ type Options struct {
 	// SkipAdjust disables the DP access-point adjustment (ablation): access
 	// points stay at their even initial distribution.
 	SkipAdjust bool
+	// Rec receives stage spans and counters. Nil selects the no-op
+	// recorder.
+	Rec obs.Recorder
 }
 
 func (o Options) withDefaults(pitch float64) Options {
@@ -89,42 +94,58 @@ type Result struct {
 	// AdjustedPartialNets is the number of partial nets processed by the DP
 	// pass.
 	AdjustedPartialNets int
+	// Stopped reports that the run's context was cancelled or expired
+	// before detailed routing finished; the geometry of passages not
+	// reached falls back to straight chain hops.
+	Stopped bool
 
 	failedNets []int // net of each fit-failed passage (diagnostics)
 }
 
 // Run executes detailed routing for the guides committed in the global
-// router.
-func Run(r *global.Router, res *global.Result, opt Options) (*Result, error) {
+// router. Cancelling ctx stops the run at the next phase boundary (between
+// the DP adjustment, retry attempts, and individual tiles); passages not
+// reached fall back to straight chain hops so the returned geometry is
+// complete but degraded, with Result.Stopped set.
+func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options) (*Result, error) {
 	d := &Detailer{
 		G:      r.G,
 		R:      r,
 		Opt:    opt.withDefaults(r.G.Design.Rules.Pitch()),
+		rec:    obs.Or(opt.Rec),
 		guides: res.Guides,
 	}
+	span := obs.StartSpan(d.rec, "detail")
+	defer span.End()
 	if err := d.buildChains(res.Guides); err != nil {
 		return nil, err
 	}
-	if !d.Opt.SkipAdjust {
-		d.processed = d.AdjustAccessPoints()
+	if !d.Opt.SkipAdjust && !obs.Stopped(ctx) {
+		adj := obs.StartSpan(d.rec, "detail.adjust")
+		d.processed = d.AdjustAccessPoints(ctx)
+		adj.End()
 	}
 
+	fit := obs.StartSpan(d.rec, "detail.fit")
 	scale := 1.0
 	var hops map[hopKey]geom.Polyline
 	var failures []*tilePassage
 	for attempt := 0; ; attempt++ {
-		hops, failures = d.routeTiles(scale)
-		if len(failures) == 0 || attempt >= d.Opt.Retries {
+		hops, failures = d.routeTiles(ctx, scale)
+		if len(failures) == 0 || attempt >= d.Opt.Retries || obs.Stopped(ctx) {
 			break
 		}
 		// Enlarge the distance that needs to be kept and iterate (§III-B2b).
+		d.fitRetries++
 		scale *= 1.15
 	}
+	fit.End()
 
 	out := &Result{
 		Routes:              make([]*Route, len(d.Chains)),
 		FitFailures:         len(failures),
 		AdjustedPartialNets: d.processed,
+		Stopped:             obs.Stopped(ctx),
 	}
 	for _, f := range failures {
 		out.failedNets = append(out.failedNets, f.net)
@@ -140,6 +161,13 @@ func Run(r *global.Router, res *global.Result, opt Options) (*Result, error) {
 		out.Routes[net] = route
 	}
 	out.Wirelength = PolishRoutes(out.Routes, r.G.Design)
+	if d.rec.Enabled() {
+		d.rec.Count("detail.dp.heap_ops", d.dpHeapOps)
+		d.rec.Count("detail.dp.partial_nets", int64(d.processed))
+		d.rec.Count("detail.fit.tangent_constructions", d.fitTangents)
+		d.rec.Count("detail.fit.retries", d.fitRetries)
+		d.rec.Count("detail.fit.failures", int64(len(failures)))
+	}
 	return out, nil
 }
 

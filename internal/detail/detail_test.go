@@ -1,6 +1,7 @@
 package detail
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -27,11 +28,11 @@ func pipeline(t testing.TB, name string, dopt Options) (*global.Router, *global.
 		t.Fatal(err)
 	}
 	r := global.New(g, global.Options{})
-	gres, err := r.Run()
+	gres, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	dres, err := Run(r, gres, dopt)
+	dres, err := Run(context.Background(), r, gres, dopt)
 	if err != nil {
 		t.Fatal(err)
 	}

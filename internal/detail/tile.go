@@ -1,11 +1,13 @@
 package detail
 
 import (
+	"context"
 	"sort"
 
 	"rdlroute/internal/dt"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -51,7 +53,9 @@ type netPoints struct {
 // routeTiles performs tile routing over all tiles and stores the resulting
 // polylines back into the passages, returning them grouped per net hop. The
 // scale parameter multiplies every pairwise clearance (>1 on retries).
-func (d *Detailer) routeTiles(scale float64) (map[hopKey]geom.Polyline, []*tilePassage) {
+// Cancelling ctx stops between tiles; unreached passages keep empty routes,
+// which assemble replaces with straight hops.
+func (d *Detailer) routeTiles(ctx context.Context, scale float64) (map[hopKey]geom.Polyline, []*tilePassage) {
 	jobs := make(map[tileKeyD]*tileJob)
 	for net, ch := range d.Chains {
 		if ch == nil {
@@ -91,6 +95,9 @@ func (d *Detailer) routeTiles(scale float64) (map[hopKey]geom.Polyline, []*tileP
 		return keys[a].tri < keys[b].tri
 	})
 	for _, k := range keys {
+		if obs.Stopped(ctx) {
+			break
+		}
 		job := jobs[k]
 		d.routeOneTile(job, scale)
 		for _, p := range job.passages {
@@ -393,6 +400,7 @@ func (d *Detailer) resolveViolation(route *geom.Polyline, si int, c geom.Circle,
 		return false
 	}
 	*route = append((*route)[:si+1], append(geom.Polyline{i}, (*route)[si+1:]...)...)
+	d.fitTangents++
 	return true
 }
 

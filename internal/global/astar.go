@@ -83,6 +83,7 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 		h := r.G.Node(key.node).Pos.Dist(dstPos)
 		arena = append(arena, searchState{key: key, g: g, f: g + h, parent: parent, link: link})
 		heap.Push(open, len(arena)-1)
+		r.heapPushes++
 	}
 
 	start := stateKey{node: src, gap: -1}

@@ -1,6 +1,7 @@
 package global
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/geom"
@@ -15,7 +16,7 @@ import (
 func TestGuideChordsGeometricallyDisjoint(t *testing.T) {
 	for _, name := range []string{"dense1", "dense2"} {
 		r := buildRouter(t, name, rgraph.Options{}, Options{})
-		res, err := r.Run()
+		res, err := r.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package global
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -28,7 +30,7 @@ func buildRouter(t testing.TB, name string, gopt rgraph.Options, opt Options) *R
 
 func TestRouteDense1FullRoutability(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestRouteDense1FullRoutability(t *testing.T) {
 
 func TestGuidesDoNotCross(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestGuidesDoNotCross(t *testing.T) {
 
 func TestGuidePathStructure(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestGuidePathStructure(t *testing.T) {
 
 func TestDiagonalViolationsCleared(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	if _, err := r.Run(); err != nil {
+	if _, err := r.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if v := r.DiagonalViolations(); v != 0 {
@@ -148,7 +150,7 @@ func TestDiagonalViolationsCleared(t *testing.T) {
 
 func TestRipUpRestoresState(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestRipUpRestoresState(t *testing.T) {
 
 func TestNaiveOrderStillRoutes(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{DisableRUDYOrder: true})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,26 +196,56 @@ func TestNaiveOrderStillRoutes(t *testing.T) {
 	}
 }
 
-func TestShouldStopAborts(t *testing.T) {
-	calls := 0
-	r := buildRouter(t, "dense1", rgraph.Options{}, Options{
-		ShouldStop: func() bool { calls++; return calls > 3 },
+func TestContextCancelAborts(t *testing.T) {
+	// Cancel mid-global-route (after the second committed net): Run must
+	// return the partial result together with ctx.Err(), and every
+	// committed guide must still satisfy the invariants.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	committed := 0
+	var r *Router
+	r = buildRouter(t, "dense1", rgraph.Options{}, Options{
+		AfterEachNet: func(int) {
+			committed++
+			if committed == 2 {
+				cancel()
+			}
+		},
 	})
-	res, err := r.Run()
-	if err != nil {
-		t.Fatal(err)
+	res, err := r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must still return the partial result")
+	}
+	if got := len(res.Guides) - len(res.FailedNets); got != 2 {
+		t.Errorf("routed %d nets before cancel, want exactly 2", got)
 	}
 	if res.Routability() == 1 {
-		t.Log("stop hook fired too late to abort anything (acceptable on tiny designs)")
+		t.Error("cancelled run must not reach full routability")
 	}
 	if err := r.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestPreCancelledContextRoutesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
+	res, err := r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := len(res.Guides) - len(res.FailedNets); n != 0 {
+		t.Errorf("pre-cancelled run routed %d nets, want 0", n)
+	}
+}
+
 func TestGuideLength(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +269,7 @@ func TestGuideLength(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	run := func() []float64 {
 		r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-		res, err := r.Run()
+		res, err := r.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package global
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -19,8 +21,10 @@ import (
 // over-threshold tiles — and among equals those with shorter pin-to-pin
 // distance — route first.
 
-// initialOrder returns the net indices in routing order.
-func (r *Router) initialOrder() []int {
+// initialOrder returns the net indices in routing order. A cancelled ctx
+// degrades gracefully: standalone seed routes not yet computed are skipped
+// and the ordering falls back toward netlist order for the remainder.
+func (r *Router) initialOrder(ctx context.Context) []int {
 	n := len(r.G.Design.Nets)
 	order := make([]int, n)
 	for i := range order {
@@ -46,7 +50,7 @@ func (r *Router) initialOrder() []int {
 			defer wg.Done()
 			for {
 				ni := int(atomic.AddInt32(&next, 1)) - 1
-				if ni >= n {
+				if ni >= n || obs.Stopped(ctx) {
 					return
 				}
 				paths[ni] = r.routePlain(ni)

@@ -1,6 +1,9 @@
 package global
 
 import (
+	"context"
+
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 )
 
@@ -25,11 +28,12 @@ import (
 const maxDiagonalRounds = 200
 
 // refineDiagonal runs the refinement loop and returns the number of
-// capacity reductions performed.
-func (r *Router) refineDiagonal() int {
+// capacity reductions performed. Cancelling ctx stops the loop between
+// rounds, keeping the reductions applied so far.
+func (r *Router) refineDiagonal(ctx context.Context) int {
 	reductions := 0
 	for round := 0; round < maxDiagonalRounds; round++ {
-		if r.Opt.ShouldStop != nil && r.Opt.ShouldStop() {
+		if obs.Stopped(ctx) {
 			return reductions
 		}
 		e := r.findDiagonalViolation()

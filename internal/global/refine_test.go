@@ -1,6 +1,7 @@
 package global
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/rgraph"
@@ -83,7 +84,7 @@ func TestRefineDiagonalReducesCapacityAndReroutes(t *testing.T) {
 	// real guide passes through and let the refinement loop fix it by
 	// reducing the capacity and rerouting the victims.
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
-	res, err := r.Run()
+	res, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRefineDiagonalReducesCapacityAndReroutes(t *testing.T) {
 	if r.DiagonalViolations() == 0 {
 		t.Fatal("setup failed to create a violation")
 	}
-	reductions := r.refineDiagonal()
+	reductions := r.refineDiagonal(context.Background())
 	if reductions == 0 {
 		t.Fatal("refinement did nothing")
 	}

@@ -8,9 +8,11 @@
 package global
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 )
 
@@ -49,10 +51,10 @@ type Options struct {
 	// layer here, paying the per-net mesh-rebuild cost the original
 	// algorithm incurs.
 	AfterEachNet func(net int)
-	// ShouldStop, when non-nil, is polled between nets; returning true
-	// aborts routing early with the work done so far (the paper's 1-hour
-	// wall-clock cutoff).
-	ShouldStop func() bool
+	// Rec receives stage spans, counters and the per-net progress stream.
+	// Nil selects the no-op recorder. Cancellation is the context passed
+	// to Run (the paper's 1-hour wall-clock cutoff becomes a deadline).
+	Rec obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +106,7 @@ func (r *Result) Routability() float64 {
 type Router struct {
 	G   *rgraph.Graph
 	Opt Options
+	rec obs.Recorder
 
 	nodeUse []int
 	linkUse []int
@@ -117,7 +120,10 @@ type Router struct {
 	passages map[tileKey][]passage
 
 	guides     []*Guide
+	routed     int // committed-guide count, maintained by commit/ripUp
 	expansions int
+	heapPushes int
+	ripUps     int
 	// pcBuf is a scratch buffer for resolved passage coordinates, reused
 	// across search expansions.
 	pcBuf []chordCoords
@@ -128,6 +134,7 @@ func New(g *rgraph.Graph, opt Options) *Router {
 	return &Router{
 		G:           g,
 		Opt:         opt.withDefaults(),
+		rec:         obs.Or(opt.Rec),
 		nodeUse:     make([]int, len(g.Nodes)),
 		linkUse:     make([]int, len(g.Links)),
 		capOverride: make(map[rgraph.NodeID]int),
@@ -153,20 +160,30 @@ func (r *Router) nodeCap(id rgraph.NodeID) int {
 	return r.G.Node(id).Cap
 }
 
-// Run executes the full global-routing flow and returns the guides.
-func (r *Router) Run() (*Result, error) {
+// Run executes the full global-routing flow and returns the guides. When
+// ctx is cancelled or expires mid-run, routing stops between nets and Run
+// returns the partial result together with ctx.Err(); the work committed so
+// far stays valid (the paper's "report the best result so far" semantics).
+func (r *Router) Run(ctx context.Context) (*Result, error) {
+	span := obs.StartSpan(r.rec, "global")
+	defer span.End()
+
 	nets := r.G.Design.Nets
-	order := r.initialOrder()
+	orderSpan := obs.StartSpan(r.rec, "global.order")
+	order := r.initialOrder(ctx)
+	orderSpan.End()
 	failCount := make([]int, len(nets))
 
 	res := &Result{}
+	astarSpan := obs.StartSpan(r.rec, "global.astar")
+	progress := r.rec.Enabled()
 	var lastFailed []int
 	for round := 0; round < r.Opt.MaxOrderRounds; round++ {
 		res.OrderRounds = round + 1
 		lastFailed = lastFailed[:0]
 		stopped := false
 		for _, ni := range order {
-			if r.Opt.ShouldStop != nil && r.Opt.ShouldStop() {
+			if obs.Stopped(ctx) {
 				stopped = true
 				break
 			}
@@ -182,6 +199,9 @@ func (r *Router) Run() (*Result, error) {
 			r.commit(g)
 			if r.Opt.AfterEachNet != nil {
 				r.Opt.AfterEachNet(ni)
+			}
+			if progress {
+				r.rec.Progress("global", r.routedCount(), len(nets))
 			}
 		}
 		if stopped || len(lastFailed) == 0 {
@@ -204,9 +224,12 @@ func (r *Router) Run() (*Result, error) {
 			return failCount[order[a]] > failCount[order[b]]
 		})
 	}
+	astarSpan.End()
 
-	if !r.Opt.DisableDiagonalRefinement {
-		res.DiagonalReductions = r.refineDiagonal()
+	if !r.Opt.DisableDiagonalRefinement && !obs.Stopped(ctx) {
+		refineSpan := obs.StartSpan(r.rec, "global.refine")
+		res.DiagonalReductions = r.refineDiagonal(ctx)
+		refineSpan.End()
 	}
 
 	res.Guides = append([]*Guide(nil), r.guides...)
@@ -217,8 +240,23 @@ func (r *Router) Run() (*Result, error) {
 	}
 	sort.Ints(res.FailedNets)
 	res.Expansions = r.expansions
+
+	r.rec.Count("global.astar.expansions", int64(r.expansions))
+	r.rec.Count("global.astar.heap_pushes", int64(r.heapPushes))
+	r.rec.Count("global.ripups", int64(r.ripUps))
+	r.rec.Count("global.order_rounds", int64(res.OrderRounds))
+	r.rec.Count("global.refine.reductions", int64(res.DiagonalReductions))
+	r.rec.Count("global.nets_routed", int64(len(res.Guides)-len(res.FailedNets)))
+	r.rec.Count("global.nets_failed", int64(len(res.FailedNets)))
+
+	if obs.Stopped(ctx) {
+		return res, ctx.Err()
+	}
 	return res, nil
 }
+
+// routedCount returns how many nets currently hold a committed guide.
+func (r *Router) routedCount() int { return r.routed }
 
 // commit installs a found guide: bumps usage, inserts sequence positions,
 // and records tile passages.
@@ -258,6 +296,7 @@ func (r *Router) commit(g *searchResult) {
 		r.passages[key] = append(r.passages[key], p)
 	}
 	r.guides[g.net] = guide
+	r.routed++
 }
 
 // passageEndFor converts a path node into a stored passage endpoint within
@@ -306,6 +345,8 @@ func (r *Router) ripUp(guide *Guide) {
 		}
 	}
 	r.guides[guide.Net] = nil
+	r.routed--
+	r.ripUps++
 }
 
 // GuideLength returns the nominal length of a guide (sum of link lengths).

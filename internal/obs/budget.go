@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// WithBudget derives a context that is cancelled once the time budget
+// elapses, attaching cause (when non-nil) as the cancellation cause so
+// callers can distinguish a budget expiry from an ambient deadline via
+// context.Cause. A non-positive budget returns ctx unchanged with a no-op
+// cancel. This is the single deadline wrapper shared by the pipeline facade
+// and both baseline routers.
+func WithBudget(ctx context.Context, budget time.Duration, cause error) (context.Context, context.CancelFunc) {
+	if budget <= 0 {
+		return ctx, func() {}
+	}
+	if cause != nil {
+		return context.WithTimeoutCause(ctx, budget, cause)
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
+// Stopped reports whether the context has been cancelled or has expired.
+// Stages poll it between units of work (nets, tiles, refinement rounds) and
+// keep the work done so far when it fires.
+func Stopped(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// TimedOut reports whether the context ended because a deadline elapsed —
+// either a WithBudget budget or an ambient deadline on a parent context —
+// as opposed to an explicit cancellation.
+func TimedOut(ctx context.Context) bool {
+	return errors.Is(ctx.Err(), context.DeadlineExceeded)
+}

@@ -1,0 +1,131 @@
+// Package obs is the observability layer of the routing pipeline: stage
+// spans with wall-clock durations, monotonic counters, gauges, and a
+// progress-event stream, all delivered through a single Recorder interface.
+//
+// Every pipeline stage (via planning, routing-graph construction, global
+// routing, detailed routing, DRC) reports through a Recorder threaded in via
+// its Options. The no-op default keeps the hot paths allocation-free when
+// observability is disabled; sinks (JSONL, Collector, Progress) are safe for
+// concurrent use so stages may report from multiple goroutines.
+//
+// The package also owns the pipeline's run-control helper: WithBudget turns
+// an Options.TimeBudget into a context deadline, and Stopped/TimedOut are the
+// single way stages poll for cancellation (replacing the per-stage
+// ShouldStop closures the pipeline used to duplicate).
+package obs
+
+import "time"
+
+// Recorder receives observability events from pipeline stages. All methods
+// must be safe for concurrent use. Implementations must not retain the
+// strings beyond the call.
+type Recorder interface {
+	// Enabled reports whether events are consumed at all; hot paths may
+	// skip preparing event data when it returns false.
+	Enabled() bool
+	// StageStart marks the beginning of the named stage span.
+	StageStart(stage string)
+	// StageEnd marks the end of the named stage span with its wall-clock
+	// duration.
+	StageEnd(stage string, d time.Duration)
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Gauge reports the current value of the named gauge.
+	Gauge(name string, v float64)
+	// Progress reports done-out-of-total progress within a stage.
+	Progress(stage string, done, total int)
+}
+
+// Nop is the no-op Recorder: every method does nothing and allocates
+// nothing. It is the default wherever a Recorder option is left nil.
+var Nop Recorder = nop{}
+
+type nop struct{}
+
+func (nop) Enabled() bool                  { return false }
+func (nop) StageStart(string)              {}
+func (nop) StageEnd(string, time.Duration) {}
+func (nop) Count(string, int64)            {}
+func (nop) Gauge(string, float64)          {}
+func (nop) Progress(string, int, int)      {}
+
+// Or returns rec, or Nop when rec is nil, so stages can call methods
+// unconditionally.
+func Or(rec Recorder) Recorder {
+	if rec == nil {
+		return Nop
+	}
+	return rec
+}
+
+// Span is an open stage span. It is a plain value so starting and ending a
+// span never allocates.
+type Span struct {
+	rec   Recorder
+	stage string
+	start time.Time
+}
+
+// StartSpan opens a span on rec (which may be nil or Nop; both yield an
+// inert span). Call End exactly once.
+func StartSpan(rec Recorder, stage string) Span {
+	if rec == nil || !rec.Enabled() {
+		return Span{}
+	}
+	rec.StageStart(stage)
+	return Span{rec: rec, stage: stage, start: time.Now()}
+}
+
+// End closes the span, reporting its wall-clock duration.
+func (s Span) End() {
+	if s.rec != nil {
+		s.rec.StageEnd(s.stage, time.Since(s.start))
+	}
+}
+
+// Multi fans events out to several recorders. Nil entries are dropped; with
+// no live entries it returns Nop.
+func Multi(recs ...Recorder) Recorder {
+	live := make(multi, 0, len(recs))
+	for _, r := range recs {
+		if r != nil && r != Nop {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multi []Recorder
+
+func (m multi) Enabled() bool { return true }
+func (m multi) StageStart(stage string) {
+	for _, r := range m {
+		r.StageStart(stage)
+	}
+}
+func (m multi) StageEnd(stage string, d time.Duration) {
+	for _, r := range m {
+		r.StageEnd(stage, d)
+	}
+}
+func (m multi) Count(name string, delta int64) {
+	for _, r := range m {
+		r.Count(name, delta)
+	}
+}
+func (m multi) Gauge(name string, v float64) {
+	for _, r := range m {
+		r.Gauge(name, v)
+	}
+}
+func (m multi) Progress(stage string, done, total int) {
+	for _, r := range m {
+		r.Progress(stage, done, total)
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNopZeroAllocs is the disabled-recorder overhead contract: a full
+// span + counter + gauge + progress cycle on the no-op recorder must not
+// allocate at all.
+func TestNopZeroAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(Nop, "stage")
+		Nop.Count("counter", 1)
+		Nop.Gauge("gauge", 0.5)
+		Nop.Progress("stage", 1, 2)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op recorder allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// The nil-recorder path through Or must be free as well: stages wrap their
+// Options field once and then record unconditionally.
+func TestOrNilZeroAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec := Or(nil)
+		rec.Count("counter", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Or(nil) path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNopRecorder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(Nop, "stage")
+		Nop.Count("counter", 1)
+		Nop.Progress("stage", i, b.N)
+		sp.End()
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) != Nop {
+		t.Error("Or(nil) must be Nop")
+	}
+	c := NewCollector()
+	if Or(c) != Recorder(c) {
+		t.Error("Or must pass a live recorder through")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	sp := StartSpan(c, "global")
+	c.Count("global.astar.expansions", 10)
+	c.Count("global.astar.expansions", 5)
+	c.Gauge("routability", 0.5)
+	c.Gauge("routability", 1)
+	sp.End()
+	c.StageEnd("global", 50*time.Millisecond) // accumulates onto the span
+
+	if got := c.Counters()["global.astar.expansions"]; got != 15 {
+		t.Errorf("counter = %d, want 15", got)
+	}
+	if got := c.Gauges()["routability"]; got != 1 {
+		t.Errorf("gauge = %v, want last-written 1", got)
+	}
+	secs := c.StageSeconds()
+	if secs["global"] < 0.05 {
+		t.Errorf("stage seconds = %v, want ≥ 0.05", secs["global"])
+	}
+	if order := c.StageOrder(); len(order) != 1 || order[0] != "global" {
+		t.Errorf("stage order = %v", order)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	m := Multi(a, nil, b)
+	m.Count("x", 2)
+	m.StageStart("s")
+	m.StageEnd("s", time.Millisecond)
+	if a.Counters()["x"] != 2 || b.Counters()["x"] != 2 {
+		t.Error("multi did not fan out counts")
+	}
+	if Multi() != Nop || Multi(nil, Nop) != Nop {
+		t.Error("empty Multi must collapse to Nop")
+	}
+	if Multi(a) != Recorder(a) {
+		t.Error("single-entry Multi must unwrap")
+	}
+}
+
+func TestProgressThrottle(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, time.Hour) // nothing but the final event passes
+	fake := time.Unix(0, 0)
+	p.now = func() time.Time { return fake }
+	for i := 1; i <= 22; i++ {
+		p.Progress("global", i, 22)
+	}
+	out := sb.String()
+	if strings.Count(out, "22/22") != 1 {
+		t.Errorf("final progress line missing or duplicated:\n%q", out)
+	}
+	// The first event passes (last is the zero time); everything between it
+	// and the final event must be throttled away.
+	if strings.Contains(out, "10/22") {
+		t.Errorf("throttled line leaked:\n%q", out)
+	}
+	p.StageEnd("global", time.Second)
+	if !strings.HasSuffix(sb.String(), "[global] done in 1s\n") {
+		t.Errorf("stage end line malformed:\n%q", sb.String())
+	}
+}
+
+func TestWithBudget(t *testing.T) {
+	cause := errors.New("budget up")
+	ctx, cancel := WithBudget(context.Background(), time.Nanosecond, cause)
+	defer cancel()
+	<-ctx.Done()
+	if !Stopped(ctx) || !TimedOut(ctx) {
+		t.Error("expired budget must read as stopped and timed out")
+	}
+	if !errors.Is(context.Cause(ctx), cause) {
+		t.Errorf("cause = %v, want the budget sentinel", context.Cause(ctx))
+	}
+}
+
+func TestWithBudgetZeroIsPassThrough(t *testing.T) {
+	parent := context.Background()
+	ctx, cancel := WithBudget(parent, 0, nil)
+	cancel() // must be a no-op
+	if ctx != parent {
+		t.Error("zero budget must return the parent context unchanged")
+	}
+	if Stopped(ctx) || TimedOut(ctx) {
+		t.Error("pass-through context must not read as stopped")
+	}
+}
+
+func TestStoppedOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if Stopped(ctx) {
+		t.Error("fresh context must not be stopped")
+	}
+	cancel()
+	if !Stopped(ctx) {
+		t.Error("cancelled context must be stopped")
+	}
+	if TimedOut(ctx) {
+		t.Error("explicit cancellation is not a timeout")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a live ticker sink (rdlroute -progress): stage boundaries are
+// always printed; the per-net progress stream is throttled so a run on a
+// large design does not flood the terminal. Progress lines are rewritten in
+// place on terminals via carriage return; a newline is forced before any
+// other event kind so the log stays readable when mixed.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	now      func() time.Time
+	last     time.Time
+	inline   bool // last write was an in-place progress line
+}
+
+// NewProgress creates a ticker over w that emits at most one progress line
+// per interval. A non-positive interval selects 200 ms.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	return &Progress{w: w, interval: interval, now: time.Now}
+}
+
+func (p *Progress) breakLine() {
+	if p.inline {
+		fmt.Fprintln(p.w)
+		p.inline = false
+	}
+}
+
+// Enabled implements Recorder.
+func (p *Progress) Enabled() bool { return true }
+
+// StageStart implements Recorder.
+func (p *Progress) StageStart(stage string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.breakLine()
+	fmt.Fprintf(p.w, "[%s] start\n", stage)
+}
+
+// StageEnd implements Recorder.
+func (p *Progress) StageEnd(stage string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.breakLine()
+	fmt.Fprintf(p.w, "[%s] done in %v\n", stage, d.Round(time.Millisecond))
+}
+
+// Count implements Recorder; counter totals are end-of-stage detail the
+// ticker leaves to the trace file.
+func (p *Progress) Count(string, int64) {}
+
+// Gauge implements Recorder.
+func (p *Progress) Gauge(name string, v float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.breakLine()
+	fmt.Fprintf(p.w, "[obs] %s = %g\n", name, v)
+}
+
+// Progress implements Recorder.
+func (p *Progress) Progress(stage string, done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if done < total && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	fmt.Fprintf(p.w, "\r[%s] %d/%d", stage, done, total)
+	p.inline = true
+	if done >= total {
+		p.breakLine()
+	}
+}

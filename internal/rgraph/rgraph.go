@@ -12,6 +12,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/dt"
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/viaplan"
 )
 
@@ -153,6 +154,9 @@ type Options struct {
 	// two edge nodes. Used by the ablation benchmarks: this is the
 	// overestimate of Fig. 6(a) that causes corner spacing violations.
 	NaiveCornerCapacity bool
+	// Rec receives the stage's size counters. Nil selects the no-op
+	// recorder.
+	Rec obs.Recorder
 }
 
 // EdgeNodeCapacity implements Eq. 1: ⌊d(v_i, v_j) / (w_w + w_s)⌋.
@@ -368,6 +372,12 @@ func Build(d *design.Design, plan *viaplan.Plan, opt Options) (*Graph, error) {
 			}
 			lg.Tiles[ti] = t
 		}
+	}
+	if rec := obs.Or(opt.Rec); rec.Enabled() {
+		s := g.Stats()
+		rec.Count("rgraph.via_nodes", int64(s.ViaNodes))
+		rec.Count("rgraph.edge_nodes", int64(s.EdgeNodes))
+		rec.Count("rgraph.links", int64(len(g.Links)))
 	}
 	return g, nil
 }

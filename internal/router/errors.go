@@ -1,0 +1,18 @@
+package router
+
+import (
+	"errors"
+
+	"rdlroute/internal/global"
+)
+
+// ErrTimeout is installed as the cancellation cause of the context derived
+// from Options.TimeBudget, so callers can distinguish a budget expiry from
+// an ambient deadline via context.Cause. It is also the sentinel wrapped by
+// the strict-mode errors of cmd/rdlroute.
+var ErrTimeout = errors.New("router: time budget exceeded")
+
+// ErrUnroutable is the sentinel wrapped by per-net routing failures; it
+// aliases the global router's error so errors.Is works across both
+// packages.
+var ErrUnroutable = global.ErrUnroutable

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -27,7 +28,7 @@ func TestRandomDesignsRobust(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		out, err := Route(d, Options{})
+		out, err := Route(context.Background(), d, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestGoldenMetrics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := Route(d, Options{})
+		out, err := Route(context.Background(), d, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func TestRunToRunIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := Route(d, Options{})
+		out, err := Route(context.Background(), d, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -31,7 +32,7 @@ func multiPinDesign(t *testing.T) (*design.Design, []int) {
 
 func TestRouteMultiPinNet(t *testing.T) {
 	d, ids := multiPinDesign(t)
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestMultiPinSharedPadCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -16,7 +17,7 @@ func TestRouteAroundObstacle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Route(base, Options{})
+	ref, err := Route(context.Background(), base, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestRouteAroundObstacle(t *testing.T) {
 	if err := d.AddObstacle(obstacle); err != nil {
 		t.Fatal(err)
 	}
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestLayerScopedObstacle(t *testing.T) {
 	if err := d.AddObstacle(obstacle); err != nil {
 		t.Fatal(err)
 	}
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,16 +7,19 @@
 // Typical use:
 //
 //	d, _ := design.GenerateDense("dense1")
-//	out, err := router.Route(d, router.Options{})
+//	out, err := router.Route(context.Background(), d, router.Options{})
 //	fmt.Println(out.Metrics.Routability, out.Metrics.Wirelength)
 package router
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
 	"rdlroute/internal/global"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -27,10 +30,15 @@ type Options struct {
 	Graph  rgraph.Options
 	Global global.Options
 	Detail detail.Options
-	// TimeBudget aborts global routing when exceeded (the paper caps every
-	// run at one hour and reports the best result so far). Zero means no
-	// limit.
+	// TimeBudget aborts routing when exceeded (the paper caps every run at
+	// one hour and reports the best result so far). Zero means no limit.
+	// The budget is enforced as a context deadline with ErrTimeout as its
+	// cancellation cause.
 	TimeBudget time.Duration
+	// Rec receives spans, counters, gauges and progress events from every
+	// pipeline stage. Nil selects the no-op recorder. A stage whose own
+	// options carry a non-nil recorder keeps it.
+	Rec obs.Recorder
 }
 
 // Metrics summarizes one routing run in the form the paper's tables report.
@@ -48,7 +56,8 @@ type Metrics struct {
 	Vias int
 	// Runtime is the wall-clock routing time (graph build included).
 	Runtime time.Duration
-	// TimedOut reports whether the time budget cut the run short.
+	// TimedOut reports whether a deadline — the TimeBudget or one already
+	// carried by the caller's context — cut the run short.
 	TimedOut bool
 
 	GlobalRounds       int
@@ -70,47 +79,66 @@ type Output struct {
 }
 
 // Route runs the complete any-angle routing pipeline on a design.
-func Route(d *design.Design, opt Options) (*Output, error) {
+//
+// Deadlines degrade, cancellation aborts: when ctx's deadline (or the
+// TimeBudget) expires mid-run the pipeline finishes with the nets routed so
+// far and returns the partial Output with a nil error and
+// Metrics.TimedOut set — the paper's report-best-so-far behaviour. When ctx
+// is cancelled explicitly, Route returns the partial Output together with
+// the stage-wrapped ctx.Err().
+func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) {
 	start := time.Now()
-	deadline := time.Time{}
-	if opt.TimeBudget > 0 {
-		deadline = start.Add(opt.TimeBudget)
+	ctx, cancel := obs.WithBudget(ctx, opt.TimeBudget, ErrTimeout)
+	defer cancel()
+	rec := obs.Or(opt.Rec)
+
+	vopt := opt.Via
+	if vopt.Rec == nil {
+		vopt.Rec = rec
+	}
+	span := obs.StartSpan(rec, "viaplan")
+	plan, err := viaplan.Build(d, vopt)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("router: via planning: %w", err)
 	}
 
-	plan, err := viaplan.Build(d, opt.Via)
-	if err != nil {
-		return nil, err
+	gropt := opt.Graph
+	if gropt.Rec == nil {
+		gropt.Rec = rec
 	}
-	g, err := rgraph.Build(d, plan, opt.Graph)
+	span = obs.StartSpan(rec, "rgraph")
+	g, err := rgraph.Build(d, plan, gropt)
+	span.End()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("router: graph build: %w", err)
 	}
 
 	gopt := opt.Global
-	timedOut := false
-	if !deadline.IsZero() {
-		userStop := gopt.ShouldStop
-		gopt.ShouldStop = func() bool {
-			if userStop != nil && userStop() {
-				return true
-			}
-			if time.Now().After(deadline) {
-				timedOut = true
-				return true
-			}
-			return false
-		}
+	if gopt.Rec == nil {
+		gopt.Rec = rec
 	}
 	gr := global.New(g, gopt)
-	gres, err := gr.Run()
-	if err != nil {
-		return nil, err
+	gres, gerr := gr.Run(ctx)
+	if gres == nil {
+		return nil, fmt.Errorf("router: global routing: %w", gerr)
 	}
-	dres, err := detail.Run(gr, gres, opt.Detail)
-	if err != nil {
-		return nil, err
+
+	dopt := opt.Detail
+	if dopt.Rec == nil {
+		dopt.Rec = rec
 	}
+	dres, err := detail.Run(ctx, gr, gres, dopt)
+	if err != nil {
+		return nil, fmt.Errorf("router: detailed routing: %w", err)
+	}
+
+	span = obs.StartSpan(rec, "drc")
 	violations := detail.CheckDRCWithDesign(dres.Routes, d)
+	span.End()
+	if rec.Enabled() {
+		rec.Count("drc.violations", int64(len(violations)))
+	}
 
 	out := &Output{
 		Design:       d,
@@ -132,11 +160,27 @@ func Route(d *design.Design, opt Options) (*Output, error) {
 	m.Wirelength = dres.Wirelength
 	m.WirelengthIsLB = m.RoutedNets < m.TotalNets
 	m.Runtime = time.Since(start)
-	m.TimedOut = timedOut
+	m.TimedOut = obs.TimedOut(ctx)
 	m.GlobalRounds = gres.OrderRounds
 	m.DiagonalReductions = gres.DiagonalReductions
 	m.FitFailures = dres.FitFailures
 	m.DRCViolations = len(violations)
 	m.GraphStats = g.Stats()
+	if rec.Enabled() {
+		rec.Gauge("routability", m.Routability)
+		rec.Gauge("wirelength_um", m.Wirelength)
+	}
+
+	if gerr != nil && !m.TimedOut {
+		// Explicit cancellation: hand back what was routed plus the cause.
+		return out, fmt.Errorf("router: global routing: %w", gerr)
+	}
 	return out, nil
+}
+
+// RouteLegacy runs the pipeline without caller-supplied cancellation.
+//
+// Deprecated: use Route with a context.
+func RouteLegacy(d *design.Design, opt Options) (*Output, error) {
+	return Route(context.Background(), d, opt)
 }

@@ -1,6 +1,8 @@
 package router
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -14,7 +16,7 @@ func TestRouteDense1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestRouteMetricsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestRouteTimeBudget(t *testing.T) {
 	}
 	// A 1 ns budget must abort global routing almost immediately but still
 	// return a structurally valid (mostly empty) result.
-	out, err := Route(d, Options{TimeBudget: time.Nanosecond})
+	out, err := Route(context.Background(), d, Options{TimeBudget: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,26 +105,58 @@ func TestRouteTimeBudget(t *testing.T) {
 	}
 }
 
-func TestRouteUserShouldStopCombines(t *testing.T) {
+func TestRouteContextCancelReturnsPartial(t *testing.T) {
+	// Cancelling the caller's context mid-global-route must surface as an
+	// error (unlike a deadline, which degrades silently) while still
+	// returning the partial Output for inspection.
 	d, err := design.GenerateDense("dense1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	calls := 0
-	out, err := Route(d, Options{
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	committed := 0
+	out, err := Route(ctx, d, Options{
 		TimeBudget: time.Hour,
 		Global: global.Options{
-			ShouldStop: func() bool { calls++; return false },
+			AfterEachNet: func(int) {
+				committed++
+				if committed == 2 {
+					cancel()
+				}
+			},
 		},
 	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out == nil {
+		t.Fatal("cancellation must still return the partial Output")
+	}
+	if out.Metrics.TimedOut {
+		t.Error("explicit cancel must not read as a timeout")
+	}
+	if out.Metrics.Routability >= 1 {
+		t.Error("cancelled run must not reach full routability")
+	}
+	if out.DetailResult == nil || len(out.DetailResult.Routes) != len(d.Nets) {
+		t.Error("partial Output must carry a full-length detail result")
+	}
+}
+
+func TestRouteTimeoutCause(t *testing.T) {
+	// The TimeBudget deadline carries ErrTimeout as its cancellation cause,
+	// and the run degrades without an error.
+	d, err := design.GenerateDense("dense1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls == 0 {
-		t.Error("user stop hook never polled")
+	out, err := Route(context.Background(), d, Options{TimeBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("deadline must degrade, not error: %v", err)
 	}
-	if out.Metrics.TimedOut {
-		t.Error("unexpected timeout")
+	if !out.Metrics.TimedOut {
+		t.Error("1ns budget must report TimedOut")
 	}
 }
 
@@ -132,7 +166,7 @@ func TestRouteInvalidDesign(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.WireLayers = 0
-	if _, err := Route(d, Options{}); err == nil {
+	if _, err := Route(context.Background(), d, Options{}); err == nil {
 		t.Error("invalid design must fail")
 	}
 }

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -50,7 +51,7 @@ func TestWidthHelpers(t *testing.T) {
 
 func TestRouteWideNets(t *testing.T) {
 	d := wideNetDesign(t, 8, 2, 10)
-	out, err := Route(d, Options{})
+	out, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,12 +103,12 @@ func TestWideNetConsumesMoreCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outDefault, err := Route(dDefault, Options{})
+	outDefault, err := Route(context.Background(), dDefault, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dWide := wideNetDesign(t, 10, 5)
-	outWide, err := Route(dWide, Options{})
+	outWide, err := Route(context.Background(), dWide, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

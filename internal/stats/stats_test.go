@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestAnyAngleVersusXarchHistogram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ours, err := router.Route(d, router.Options{})
+	ours, err := router.Route(context.Background(), d, router.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestAnyAngleVersusXarchHistogram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cai, err := xarch.Route(d2, xarch.Options{})
+	cai, err := xarch.Route(context.Background(), d2, xarch.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

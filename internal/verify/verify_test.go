@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -15,7 +16,7 @@ func routedDense1(t *testing.T) (*design.Design, []*detail.Route) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := router.Route(d, router.Options{})
+	out, err := router.Route(context.Background(), d, router.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 )
 
 // VertexKind classifies a triangulation vertex of a wire layer.
@@ -93,6 +94,9 @@ type Options struct {
 	JitterFrac float64
 	// Seed drives the deterministic jitter.
 	Seed int64
+	// Rec receives the stage's size counters. Nil selects the no-op
+	// recorder.
+	Rec obs.Recorder
 }
 
 func (o Options) withDefaults(rules design.Rules) Options {
@@ -166,6 +170,14 @@ func Build(d *design.Design, opt Options) (*Plan, error) {
 		if len(lp.Verts) < 3 {
 			return nil, fmt.Errorf("viaplan: wire layer %d has only %d vertices", li, len(lp.Verts))
 		}
+	}
+	if rec := obs.Or(opt.Rec); rec.Enabled() {
+		rec.Count("viaplan.vias", int64(len(p.Vias)))
+		var verts int64
+		for _, lp := range p.Layers {
+			verts += int64(len(lp.Verts))
+		}
+		rec.Count("viaplan.vertices", verts)
 	}
 	return p, nil
 }

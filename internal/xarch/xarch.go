@@ -18,6 +18,7 @@
 package xarch
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"rdlroute/internal/detail"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -33,6 +35,9 @@ import (
 type Options struct {
 	Via        viaplan.Options
 	TimeBudget time.Duration
+	// Rec receives spans and counters from the underlying pipeline stages.
+	// Nil selects the no-op recorder.
+	Rec obs.Recorder
 }
 
 // Result is the outcome of an X-architecture baseline run.
@@ -48,37 +53,33 @@ type Result struct {
 	TimedOut   bool
 }
 
-// Route runs the traditional-router baseline.
-func Route(d *design.Design, opt Options) (*Result, error) {
+// Route runs the traditional-router baseline. Deadlines (ctx or
+// TimeBudget) stop routing and report the partial result with TimedOut set;
+// explicit cancellation returns the partial result together with ctx.Err().
+func Route(ctx context.Context, d *design.Design, opt Options) (*Result, error) {
 	start := time.Now()
-	plan, err := viaplan.Build(d, opt.Via)
+	ctx, cancel := obs.WithBudget(ctx, opt.TimeBudget, nil)
+	defer cancel()
+	vopt := opt.Via
+	if vopt.Rec == nil {
+		vopt.Rec = opt.Rec
+	}
+	plan, err := viaplan.Build(d, vopt)
 	if err != nil {
 		return nil, err
 	}
-	g, err := rgraph.Build(d, plan, rgraph.Options{})
+	g, err := rgraph.Build(d, plan, rgraph.Options{Rec: opt.Rec})
 	if err != nil {
 		return nil, err
 	}
-	gopt := global.Options{}
-	timedOut := false
-	if opt.TimeBudget > 0 {
-		deadline := start.Add(opt.TimeBudget)
-		gopt.ShouldStop = func() bool {
-			if time.Now().After(deadline) {
-				timedOut = true
-				return true
-			}
-			return false
-		}
-	}
-	gr := global.New(g, gopt)
-	gres, err := gr.Run()
-	if err != nil {
-		return nil, err
+	gr := global.New(g, global.Options{Rec: opt.Rec})
+	gres, gerr := gr.Run(ctx)
+	if gres == nil {
+		return nil, gerr
 	}
 	// Traditional routers fix crossing points without the any-angle DP
 	// adjustment.
-	dres, err := detail.Run(gr, gres, detail.Options{SkipAdjust: true})
+	dres, err := detail.Run(ctx, gr, gres, detail.Options{SkipAdjust: true, Rec: opt.Rec})
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +106,10 @@ func Route(d *design.Design, opt Options) (*Result, error) {
 		RoutedNets:   routed,
 		Wirelength:   wl,
 		Runtime:      time.Since(start),
-		TimedOut:     timedOut,
+		TimedOut:     obs.TimedOut(ctx),
+	}
+	if gerr != nil && !res.TimedOut {
+		return res, gerr
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package xarch
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -92,7 +93,7 @@ func TestRouteDense1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(d, Options{})
+	res, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestXarchLongerThanAnyAngle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ours, err := router.Route(d1, router.Options{})
+	ours, err := router.Route(context.Background(), d1, router.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestXarchLongerThanAnyAngle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cai, err := Route(d2, Options{})
+	cai, err := Route(context.Background(), d2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

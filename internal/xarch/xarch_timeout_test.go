@@ -1,6 +1,7 @@
 package xarch
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -12,7 +13,7 @@ func TestRouteTimeBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(d, Options{TimeBudget: time.Millisecond})
+	res, err := Route(context.Background(), d, Options{TimeBudget: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestWirelengthMatchesGeometry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(d, Options{})
+	res, err := Route(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
