@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fmt
+.PHONY: all tier1 tier2 bench bench-serve fmt
 
 all: tier1
 
@@ -17,6 +17,12 @@ tier2:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Serving-layer throughput (jobs/sec at pool sizes 1/2/4, cold vs. cache
+# hit). Writes machine-readable results to BENCH_serve.json.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchmem ./internal/serve/
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,132 @@
+// Command rdlserved serves the any-angle RDL router over HTTP: a concurrent
+// job engine with a bounded priority queue, a worker pool, and a
+// content-addressed result cache, so parameter sweeps and net-ordering
+// exploration can call the router many times cheaply over the same design.
+//
+// Usage:
+//
+//	rdlserved [-addr :8080] [-workers 4] [-queue 64] [-cache 128]
+//	          [-budget 30s] [-drain 30s] [-trace trace.jsonl]
+//
+// API (see doc/SERVICE.md for the full reference):
+//
+//	POST   /v1/jobs             submit {"design": ..., "options": ..., "priority": ...}
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result metrics, stage breakdown, optional geometry
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metricsz            queue/cache/job counters and gauges
+//
+// SIGINT/SIGTERM shuts down gracefully: the listener stops accepting, the
+// engine drains queued and running jobs within the -drain budget, and the
+// process exits 0. Jobs still unfinished when the budget expires are
+// cancelled and the process exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rdlroute/internal/obs"
+	"rdlroute/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rdlserved: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable server core: it serves until ctx is cancelled, then
+// drains and returns nil on a clean exit.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdlserved", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		workers   = fs.Int("workers", 0, "concurrent routing jobs (0 = GOMAXPROCS, capped at 4)")
+		queueCap  = fs.Int("queue", 64, "queued-job capacity before submissions get 429")
+		cacheSize = fs.Int("cache", 128, "result-cache entries (negative disables)")
+		budget    = fs.Duration("budget", 30*time.Second, "default per-job time budget for requests without one")
+		drain     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		tracePath = fs.String("trace", "", "write a JSON-lines event trace of every job to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rec obs.Recorder
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}()
+		rec = obs.NewJSONL(f)
+	}
+
+	eng := serve.New(serve.Config{
+		Workers:           *workers,
+		QueueCapacity:     *queueCap,
+		CacheEntries:      *cacheSize,
+		DefaultTimeBudget: *budget,
+		Rec:               rec,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	fmt.Fprintf(stdout, "rdlserved: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: serve.NewHandler(eng)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections and let in-flight
+	// handlers (including ?wait=1 submissions) finish, then drain the
+	// engine so queued and running jobs complete before we exit.
+	fmt.Fprintln(stdout, "rdlserved: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := eng.Drain(shutCtx); err != nil {
+		return fmt.Errorf("drain: %d jobs cancelled after %v: %w",
+			eng.Stats().Counters[serve.CtrCancelled], *drain, err)
+	}
+	s := eng.Stats()
+	fmt.Fprintf(stdout, "rdlserved: drained (completed=%d cache_hits=%d failed=%d cancelled=%d)\n",
+		s.Counters[serve.CtrCompleted], s.Counters[serve.CtrCacheHit],
+		s.Counters[serve.CtrFailed], s.Counters[serve.CtrCancelled])
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/serve"
+)
+
+// lockedBuffer collects server stdout across goroutines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var urlRe = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startServer runs the server core on an ephemeral port and returns its base
+// URL, a cancel func standing in for SIGTERM (signal.NotifyContext cancels
+// the same context a real SIGTERM would), and the run() result channel.
+func startServer(t *testing.T, args ...string) (string, context.CancelFunc, chan error, *lockedBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1], cancel, done, out
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	t.Fatalf("server never started: %q", out.String())
+	return "", nil, nil, nil
+}
+
+func smallDesign(t *testing.T, seed int64) []byte {
+	t.Helper()
+	d, err := design.GenerateRandom(design.RandomSpec{Seed: seed, Chips: 2, NetsPerChannel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func submit(t *testing.T, url string, designJSON []byte, query string) (serve.JobStatus, int) {
+	t.Helper()
+	body := fmt.Sprintf(`{"design": %s}`, designJSON)
+	resp, err := http.Post(url+"/v1/jobs"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	return st, resp.StatusCode
+}
+
+// TestServedEndToEnd is the acceptance-criteria scenario: the same design
+// submitted twice routes once and hits the cache once with identical
+// metrics; SIGTERM drains the in-flight third job and exits cleanly.
+func TestServedEndToEnd(t *testing.T) {
+	url, sigterm, done, out := startServer(t, "-workers", "2")
+
+	dj := smallDesign(t, 3)
+	first, code := submit(t, url, dj, "?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("first submit: code %d (%+v)", code, first)
+	}
+	if first.State != serve.StateDone || first.CacheHit {
+		t.Fatalf("first submit should route fresh: %+v", first)
+	}
+	if first.Metrics == nil || first.Metrics.Routability == 0 {
+		t.Fatalf("first submit has no routing metrics: %+v", first)
+	}
+
+	second, code := submit(t, url, dj, "?wait=1")
+	if code != http.StatusOK || !second.CacheHit {
+		t.Fatalf("second submit should hit the cache: code %d %+v", code, second)
+	}
+	if *first.Metrics != *second.Metrics {
+		t.Fatalf("metrics differ between run and cache hit:\n%+v\n%+v", first.Metrics, second.Metrics)
+	}
+
+	// The cache-hit counter confirms the second run never routed.
+	resp, err := http.Get(url + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Counters[serve.CtrCacheHit] != 1 {
+		t.Fatalf("cache hits = %d, want 1 (counters %v)", stats.Counters[serve.CtrCacheHit], stats.Counters)
+	}
+
+	// Leave a job in flight, then deliver the shutdown signal: the drain
+	// must finish it (completed=3 in the exit summary) and exit cleanly.
+	inflight, code := submit(t, url, smallDesign(t, 4), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("third submit: code %d %+v", code, inflight)
+	}
+	sigterm()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() = %v, want clean exit", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain in time")
+	}
+	if s := out.String(); !strings.Contains(s, "completed=3") {
+		t.Errorf("drain summary should count the in-flight job: %q", s)
+	}
+}
+
+// TestServedQueueFull429 saturates a 1-worker/1-slot server with distinct
+// designs and requires the backpressure 429.
+func TestServedQueueFull429(t *testing.T) {
+	url, sigterm, done, _ := startServer(t, "-workers", "1", "-queue", "1")
+
+	// A large design holds the single worker for hundreds of milliseconds,
+	// so the fast submissions below pile up against the 1-slot queue.
+	big, err := design.GenerateRandom(design.RandomSpec{Seed: 1, Chips: 5, NetsPerChannel: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigJSON, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := submit(t, url, bigJSON, ""); code != http.StatusAccepted {
+		t.Fatalf("big submit: code %d", code)
+	}
+
+	accepted, rejected := 0, 0
+	for seed := int64(10); seed < 20; seed++ {
+		_, code := submit(t, url, smallDesign(t, seed), "")
+		switch code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("want both accepts and 429s, got accepted=%d rejected=%d", accepted, rejected)
+	}
+
+	sigterm()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() = %v, want clean exit", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain in time")
+	}
+}

@@ -10,11 +10,43 @@
 package design
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"rdlroute/internal/geom"
 )
+
+// Typed validation sentinels. Validate wraps every finding in one of these,
+// so untrusted-input consumers (the serving layer, file loaders) can map
+// failures to error classes with errors.Is without parsing messages.
+var (
+	// ErrNonFinite marks NaN or ±Inf in a coordinate, rule, or width.
+	ErrNonFinite = errors.New("non-finite value")
+	// ErrOutOfBounds marks geometry outside the package outline.
+	ErrOutOfBounds = errors.New("out of bounds")
+	// ErrBadReference marks an index that points at a nonexistent pad,
+	// chip, layer, or net, or an ID that disagrees with its slice position.
+	ErrBadReference = errors.New("bad reference")
+	// ErrDuplicateNetName marks two nets sharing a non-empty name.
+	ErrDuplicateNetName = errors.New("duplicate net name")
+	// ErrBadRules marks physically meaningless design rules.
+	ErrBadRules = errors.New("bad design rules")
+)
+
+// finite reports whether every value is a real number.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func finiteRect(r geom.Rect) bool {
+	return finite(r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
 
 // Rules holds the manufacturing design rules of the paper's §II-B. All
 // values are in µm.
@@ -43,8 +75,11 @@ func (r Rules) Pitch() float64 { return r.WireWidth + r.MinSpacing }
 
 // Validate reports whether the rules are physically meaningful.
 func (r Rules) Validate() error {
+	if !finite(r.WireWidth, r.ViaWidth, r.MinSpacing, r.MinTurnDist) {
+		return fmt.Errorf("design: %w in rules %+v", ErrNonFinite, r)
+	}
 	if r.WireWidth <= 0 || r.ViaWidth <= 0 || r.MinSpacing <= 0 || r.MinTurnDist < 0 {
-		return fmt.Errorf("design: non-positive rule in %+v", r)
+		return fmt.Errorf("design: non-positive rule in %+v: %w", r, ErrBadRules)
 	}
 	return nil
 }
@@ -129,70 +164,102 @@ func (d *Design) Stats() Stats {
 	}
 }
 
-// Validate checks structural consistency: rules are sane, pads sit inside
-// the outline, chips do not overlap, net pins reference existing pads of the
-// right net, and every pad referenced by a net agrees on the net ID.
+// Validate checks structural consistency: rules are sane, every coordinate
+// is finite, pads sit inside the outline, chips do not overlap, net names
+// are unique, net pins reference existing pads of the right net, and every
+// pad referenced by a net agrees on the net ID. It is the single gate for
+// untrusted input — the serving layer accepts any design that passes it —
+// so every finding wraps one of the typed sentinels above.
 func (d *Design) Validate() error {
 	if err := d.Rules.Validate(); err != nil {
 		return err
 	}
 	if d.WireLayers < 1 {
-		return fmt.Errorf("design %s: need at least 1 wire layer", d.Name)
+		return fmt.Errorf("design %s: need at least 1 wire layer: %w", d.Name, ErrBadReference)
+	}
+	if !finiteRect(d.Outline) {
+		return fmt.Errorf("design %s: %w in outline", d.Name, ErrNonFinite)
 	}
 	for i, c := range d.Chips {
+		if !finiteRect(c.Outline) {
+			return fmt.Errorf("design %s: %w in chip %d outline", d.Name, ErrNonFinite, i)
+		}
 		if !d.Outline.ContainsRect(c.Outline) {
-			return fmt.Errorf("design %s: chip %d outside outline", d.Name, i)
+			return fmt.Errorf("design %s: chip %d outside outline: %w", d.Name, i, ErrOutOfBounds)
 		}
 		for j := i + 1; j < len(d.Chips); j++ {
 			if c.Outline.Intersects(d.Chips[j].Outline) {
-				return fmt.Errorf("design %s: chips %d and %d overlap", d.Name, i, j)
+				return fmt.Errorf("design %s: chips %d and %d overlap: %w", d.Name, i, j, ErrOutOfBounds)
 			}
 		}
 	}
 	for i, p := range d.IOPads {
 		if p.ID != i {
-			return fmt.Errorf("design %s: IO pad %d has ID %d", d.Name, i, p.ID)
+			return fmt.Errorf("design %s: IO pad %d has ID %d: %w", d.Name, i, p.ID, ErrBadReference)
+		}
+		if !finite(p.Pos.X, p.Pos.Y) {
+			return fmt.Errorf("design %s: %w in IO pad %d position", d.Name, ErrNonFinite, i)
 		}
 		if !d.Outline.Contains(p.Pos) {
-			return fmt.Errorf("design %s: IO pad %d outside outline", d.Name, i)
+			return fmt.Errorf("design %s: IO pad %d outside outline: %w", d.Name, i, ErrOutOfBounds)
 		}
 		if p.Chip < 0 || p.Chip >= len(d.Chips) {
-			return fmt.Errorf("design %s: IO pad %d has invalid chip %d", d.Name, i, p.Chip)
+			return fmt.Errorf("design %s: IO pad %d has invalid chip %d: %w", d.Name, i, p.Chip, ErrBadReference)
 		}
 	}
 	for i, p := range d.BumpPads {
 		if p.ID != i {
-			return fmt.Errorf("design %s: bump pad %d has ID %d", d.Name, i, p.ID)
+			return fmt.Errorf("design %s: bump pad %d has ID %d: %w", d.Name, i, p.ID, ErrBadReference)
+		}
+		if !finite(p.Pos.X, p.Pos.Y) {
+			return fmt.Errorf("design %s: %w in bump pad %d position", d.Name, ErrNonFinite, i)
 		}
 		if !d.Outline.Contains(p.Pos) {
-			return fmt.Errorf("design %s: bump pad %d outside outline", d.Name, i)
+			return fmt.Errorf("design %s: bump pad %d outside outline: %w", d.Name, i, ErrOutOfBounds)
 		}
 	}
 	for i, o := range d.Obstacles {
+		if !finiteRect(o.Rect) {
+			return fmt.Errorf("design %s: %w in obstacle %d", d.Name, ErrNonFinite, i)
+		}
 		if !d.Outline.ContainsRect(o.Rect) {
-			return fmt.Errorf("design %s: obstacle %d outside outline", d.Name, i)
+			return fmt.Errorf("design %s: obstacle %d outside outline: %w", d.Name, i, ErrOutOfBounds)
 		}
 		for _, l := range o.Layers {
 			if l < 0 || l >= d.WireLayers {
-				return fmt.Errorf("design %s: obstacle %d blocks invalid layer %d", d.Name, i, l)
+				return fmt.Errorf("design %s: obstacle %d blocks invalid layer %d: %w", d.Name, i, l, ErrBadReference)
 			}
 		}
 	}
+	names := make(map[string]int, len(d.Nets))
 	for i, n := range d.Nets {
 		if n.ID != i {
-			return fmt.Errorf("design %s: net %d has ID %d", d.Name, i, n.ID)
+			return fmt.Errorf("design %s: net %d has ID %d: %w", d.Name, i, n.ID, ErrBadReference)
+		}
+		if !finite(n.Width) {
+			return fmt.Errorf("design %s: %w in net %d width", d.Name, ErrNonFinite, i)
+		}
+		if n.Width < 0 {
+			return fmt.Errorf("design %s: net %d has negative width: %w", d.Name, i, ErrBadRules)
+		}
+		if n.Name != "" {
+			if prev, ok := names[n.Name]; ok {
+				return fmt.Errorf("design %s: nets %d and %d both named %q: %w",
+					d.Name, prev, i, n.Name, ErrDuplicateNetName)
+			}
+			names[n.Name] = i
 		}
 		for _, pin := range n.Pins {
 			if pin < 0 || pin >= len(d.IOPads) {
-				return fmt.Errorf("design %s: net %d pin %d out of range", d.Name, i, pin)
+				return fmt.Errorf("design %s: net %d pin %d out of range: %w", d.Name, i, pin, ErrBadReference)
 			}
 			if owner := d.IOPads[pin].Net; owner != n.ID && !d.SameGroup(owner, n.ID) {
-				return fmt.Errorf("design %s: net %d pin pad %d claims net %d",
-					d.Name, i, pin, owner)
+				return fmt.Errorf("design %s: net %d pin pad %d claims net %d: %w",
+					d.Name, i, pin, owner, ErrBadReference)
 			}
 		}
 		if n.Pins[0] == n.Pins[1] {
-			return fmt.Errorf("design %s: net %d connects a pad to itself", d.Name, i)
+			return fmt.Errorf("design %s: net %d connects a pad to itself: %w", d.Name, i, ErrBadReference)
 		}
 	}
 	return nil

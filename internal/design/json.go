@@ -29,6 +29,19 @@ func ReadJSON(r io.Reader) (*Design, error) {
 	return &d, nil
 }
 
+// CanonicalJSON returns a byte-stable compact JSON encoding of the design:
+// field order is fixed by the struct definitions, no whitespace varies, and
+// equal designs always produce equal bytes. This is the design half of a
+// result-cache key (see internal/serve). Encoding fails only on non-finite
+// coordinates, which Validate rejects up front.
+func (d *Design) CanonicalJSON() ([]byte, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("design: canonical encode %s: %w", d.Name, err)
+	}
+	return b, nil
+}
+
 // SaveFile writes the design as JSON to the named file.
 func (d *Design) SaveFile(path string) error {
 	f, err := os.Create(path)

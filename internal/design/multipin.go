@@ -101,12 +101,15 @@ func (d *Design) AddMultiPinNet(name string, pins []PadSpec) ([]int, error) {
 // returned value is only meaningful through SameGroup comparisons.
 func (d *Design) GroupOf(netID int) int {
 	if netID < 0 || netID >= len(d.Nets) {
+		// Invalid IDs get an out-of-band group so they never compare equal
+		// to a real net's group (standalone groups start at -2; net 0's
+		// standalone group would otherwise collide with this sentinel).
 		return -1
 	}
 	if g := d.Nets[netID].Group; g > 0 {
 		return g
 	}
-	return -netID - 1 // unique standalone group per net
+	return -netID - 2 // unique standalone group per net
 }
 
 // SameGroup reports whether two nets are electrically the same net.

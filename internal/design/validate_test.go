@@ -1,0 +1,157 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/geom"
+)
+
+// validDesign is the smallest design that passes Validate: two chips, one
+// net between them. Tests mutate copies of it into each malformed shape the
+// serving layer must reject.
+func validDesign() *Design {
+	return &Design{
+		Name:       "t",
+		Rules:      DefaultRules(),
+		WireLayers: 2,
+		Outline:    geom.R(0, 0, 1000, 1000),
+		Chips: []Chip{
+			{Name: "c0", Outline: geom.R(100, 100, 300, 300)},
+			{Name: "c1", Outline: geom.R(600, 100, 800, 300)},
+		},
+		IOPads: []Pad{
+			{ID: 0, Net: 0, Chip: 0, Pos: geom.Pt(300, 200)},
+			{ID: 1, Net: 0, Chip: 1, Pos: geom.Pt(600, 200)},
+		},
+		Nets: []Net{{ID: 0, Name: "n0", Pins: [2]int{0, 1}}},
+	}
+}
+
+func TestValidDesignPasses(t *testing.T) {
+	if err := validDesign().Validate(); err != nil {
+		t.Fatalf("base design invalid: %v", err)
+	}
+}
+
+func TestValidateMalformed(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		mutate func(*Design)
+		want   error
+	}{
+		{"nan wire width", func(d *Design) { d.Rules.WireWidth = nan }, ErrNonFinite},
+		{"inf via width", func(d *Design) { d.Rules.ViaWidth = inf }, ErrNonFinite},
+		{"zero spacing", func(d *Design) { d.Rules.MinSpacing = 0 }, ErrBadRules},
+		{"negative wire width", func(d *Design) { d.Rules.WireWidth = -1 }, ErrBadRules},
+		{"no wire layers", func(d *Design) { d.WireLayers = 0 }, ErrBadReference},
+		{"nan outline", func(d *Design) { d.Outline.Max.X = nan }, ErrNonFinite},
+		{"nan chip outline", func(d *Design) { d.Chips[0].Outline.Min.Y = nan }, ErrNonFinite},
+		{"chip outside outline", func(d *Design) { d.Chips[0].Outline = geom.R(-50, 100, 300, 300) }, ErrOutOfBounds},
+		{"overlapping chips", func(d *Design) { d.Chips[1].Outline = geom.R(200, 100, 400, 300) }, ErrOutOfBounds},
+		{"io pad bad id", func(d *Design) { d.IOPads[1].ID = 7 }, ErrBadReference},
+		{"nan io pad pos", func(d *Design) { d.IOPads[0].Pos.X = nan }, ErrNonFinite},
+		{"inf io pad pos", func(d *Design) { d.IOPads[0].Pos.Y = inf }, ErrNonFinite},
+		{"io pad outside outline", func(d *Design) { d.IOPads[0].Pos = geom.Pt(-1, 200) }, ErrOutOfBounds},
+		{"io pad bad chip", func(d *Design) { d.IOPads[0].Chip = 9 }, ErrBadReference},
+		{"bump pad bad id", func(d *Design) {
+			d.BumpPads = []Pad{{ID: 3, Net: -1, Chip: -1, Pos: geom.Pt(500, 500)}}
+		}, ErrBadReference},
+		{"nan bump pad pos", func(d *Design) {
+			d.BumpPads = []Pad{{ID: 0, Net: -1, Chip: -1, Pos: geom.Pt(nan, 500)}}
+		}, ErrNonFinite},
+		{"bump pad outside outline", func(d *Design) {
+			d.BumpPads = []Pad{{ID: 0, Net: -1, Chip: -1, Pos: geom.Pt(500, 2000)}}
+		}, ErrOutOfBounds},
+		{"nan obstacle", func(d *Design) {
+			d.Obstacles = []Obstacle{{Rect: geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(nan, 10)}}}
+		}, ErrNonFinite},
+		{"obstacle outside outline", func(d *Design) {
+			d.Obstacles = []Obstacle{{Rect: geom.R(900, 900, 1100, 1100)}}
+		}, ErrOutOfBounds},
+		{"obstacle bad layer", func(d *Design) {
+			d.Obstacles = []Obstacle{{Rect: geom.R(400, 400, 500, 500), Layers: []int{5}}}
+		}, ErrBadReference},
+		{"net bad id", func(d *Design) { d.Nets[0].ID = 4 }, ErrBadReference},
+		{"nan net width", func(d *Design) { d.Nets[0].Width = nan }, ErrNonFinite},
+		{"negative net width", func(d *Design) { d.Nets[0].Width = -2 }, ErrBadRules},
+		{"duplicate net name", func(d *Design) {
+			d.IOPads = append(d.IOPads,
+				Pad{ID: 2, Net: 1, Chip: 0, Pos: geom.Pt(300, 250)},
+				Pad{ID: 3, Net: 1, Chip: 1, Pos: geom.Pt(600, 250)})
+			d.Nets = append(d.Nets, Net{ID: 1, Name: "n0", Pins: [2]int{2, 3}})
+		}, ErrDuplicateNetName},
+		{"net pin out of range", func(d *Design) { d.Nets[0].Pins[1] = 99 }, ErrBadReference},
+		{"net pin negative", func(d *Design) { d.Nets[0].Pins[0] = -1 }, ErrBadReference},
+		{"net pin wrong owner", func(d *Design) { d.IOPads[1].Net = 5 }, ErrBadReference},
+		{"net self loop", func(d *Design) { d.Nets[0].Pins = [2]int{0, 0} }, ErrBadReference},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := validDesign()
+			tc.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted malformed design")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadJSONMalformed covers the decode path service input takes: broken
+// JSON, JSON that is well-formed but invalid as a design, and the
+// non-finite literals encoding/json itself refuses.
+func TestReadJSONMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  error // nil means "any error"
+	}{
+		{"truncated", `{"Name": "x", "Rules"`, nil},
+		{"not an object", `[1, 2, 3]`, nil},
+		{"nan literal", `{"Name": "x", "Outline": {"Min": {"X": NaN, "Y": 0}}}`, nil},
+		{"empty but well-formed", `{}`, ErrBadRules},
+		{"bad rules", `{"Name": "x", "Rules": {"WireWidth": -1, "ViaWidth": 5, "MinSpacing": 2, "MinTurnDist": 4}}`, ErrBadRules},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("ReadJSON accepted malformed input")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("ReadJSON() = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCanonicalJSONStable(t *testing.T) {
+	a, err := validDesign().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := validDesign().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("canonical encodings of equal designs differ")
+	}
+	d := validDesign()
+	d.Nets[0].Width = 3
+	c, err := d.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Error("canonical encodings of different designs collide")
+	}
+}

@@ -85,6 +85,24 @@ func (c *Collector) StageOrder() []string {
 	return append([]string(nil), c.order...)
 }
 
+// Counter returns the current total of one counter (zero when the counter
+// has never been written). The serving layer polls individual counters —
+// cache hits, completed jobs — without copying the whole map.
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// GaugeValue returns the last-written value of one gauge and whether it has
+// ever been written.
+func (c *Collector) GaugeValue(name string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.gauges[name]
+	return v, ok
+}
+
 // Counters returns a copy of the counter totals.
 func (c *Collector) Counters() map[string]int64 {
 	c.mu.Lock()

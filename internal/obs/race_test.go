@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hammer drives one Recorder from n goroutines concurrently, exercising
+// every method the way service jobs sharing a sink do. Run under -race it
+// is the regression test for sink thread-safety.
+func hammer(t *testing.T, rec Recorder, goroutines, events int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stage := fmt.Sprintf("stage%d", g%4)
+			for i := 0; i < events; i++ {
+				rec.StageStart(stage)
+				rec.Count("events", 1)
+				rec.Gauge("last", float64(i))
+				rec.Progress(stage, i, events)
+				rec.StageEnd(stage, time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	const goroutines, events = 8, 200
+	c := NewCollector()
+	hammer(t, c, goroutines, events)
+	if got := c.Counter("events"); got != goroutines*events {
+		t.Errorf("events counter = %d, want %d", got, goroutines*events)
+	}
+	var total time.Duration
+	for _, s := range c.StageSeconds() {
+		total += time.Duration(s * float64(time.Second))
+	}
+	if want := goroutines * events * int(time.Microsecond); total < time.Duration(want) {
+		t.Errorf("stage total %v below the %v recorded", total, time.Duration(want))
+	}
+	if len(c.StageOrder()) != 4 {
+		t.Errorf("stage order has %d entries, want 4", len(c.StageOrder()))
+	}
+}
+
+func TestJSONLConcurrent(t *testing.T) {
+	const goroutines, events = 8, 100
+	var buf syncBuffer
+	j := NewJSONL(&buf)
+	hammer(t, j, goroutines, events)
+
+	// Every line must still be a complete, valid JSON object: interleaved
+	// writers must never tear a line.
+	lines, counts := 0, int64(0)
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var e struct {
+			Ev    string `json:"ev"`
+			Delta int64  `json:"delta"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON (%v): %q", lines, err, sc.Text())
+		}
+		if e.Ev == "count" {
+			counts += e.Delta
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * goroutines * events; lines != want {
+		t.Errorf("got %d trace lines, want %d", lines, want)
+	}
+	if counts != goroutines*events {
+		t.Errorf("count deltas sum to %d, want %d", counts, goroutines*events)
+	}
+}
+
+func TestMultiAndProgressConcurrent(t *testing.T) {
+	c := NewCollector()
+	var trace syncBuffer
+	rec := Multi(c, NewJSONL(&trace), NewProgress(io.Discard, time.Millisecond))
+	hammer(t, rec, 8, 50)
+	if got := c.Counter("events"); got != 8*50 {
+		t.Errorf("fan-out lost counts: %d, want %d", got, 8*50)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer. The JSONL sink serializes its
+// own writes, but the test buffer must not itself introduce a data race when
+// read back.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}

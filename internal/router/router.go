@@ -177,10 +177,3 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	}
 	return out, nil
 }
-
-// RouteLegacy runs the pipeline without caller-supplied cancellation.
-//
-// Deprecated: use Route with a context.
-func RouteLegacy(d *design.Design, opt Options) (*Output, error) {
-	return Route(context.Background(), d, opt)
-}

@@ -1,0 +1,153 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rdlroute/internal/detail"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// OptionsSpec is the declarative view of Options: every field that changes
+// what the router computes, and nothing that merely observes a run
+// (recorders, callbacks). It serves two roles for the serving layer:
+//
+//   - Wire format: the "options" object of a routing request decodes into an
+//     OptionsSpec, which Options() expands into the real per-stage Options.
+//   - Cache identity: Canonical() is a byte-stable JSON encoding, so equal
+//     specs hash equally and the result cache can treat the pair
+//     (design, spec) as content-addressed.
+//
+// The zero spec means "all defaults" and expands to the zero Options.
+type OptionsSpec struct {
+	Via    ViaSpec    `json:"via"`
+	Graph  GraphSpec  `json:"graph"`
+	Global GlobalSpec `json:"global"`
+	Detail DetailSpec `json:"detail"`
+	// TimeBudgetMS is Options.TimeBudget in milliseconds. It is part of the
+	// cache identity: a run under a tighter budget may legitimately return a
+	// worse partial result than the same design under a looser one.
+	TimeBudgetMS int64 `json:"time_budget_ms"`
+}
+
+// ViaSpec mirrors viaplan.Options (minus the recorder).
+type ViaSpec struct {
+	ViaPitch     float64 `json:"via_pitch"`
+	BoundaryStep float64 `json:"boundary_step"`
+	JitterFrac   float64 `json:"jitter_frac"`
+	Seed         int64   `json:"seed"`
+}
+
+// GraphSpec mirrors rgraph.Options (minus the recorder).
+type GraphSpec struct {
+	ViaCost             float64 `json:"via_cost"`
+	NaiveCornerCapacity bool    `json:"naive_corner_capacity"`
+}
+
+// GlobalSpec mirrors global.Options (minus the recorder and the
+// AfterEachNet callback, which observes rather than configures).
+type GlobalSpec struct {
+	CongestionThreshold       float64 `json:"congestion_threshold"`
+	MaxOrderRounds            int     `json:"max_order_rounds"`
+	MaxExpansions             int     `json:"max_expansions"`
+	DisableRUDYOrder          bool    `json:"disable_rudy_order"`
+	DisableDiagonalRefinement bool    `json:"disable_diagonal_refinement"`
+	EdgeUsePerNet             int     `json:"edge_use_per_net"`
+}
+
+// DetailSpec mirrors detail.Options (minus the recorder).
+type DetailSpec struct {
+	Candidates  int     `json:"candidates"`
+	MinMovable  float64 `json:"min_movable"`
+	MaxFitIters int     `json:"max_fit_iters"`
+	Retries     int     `json:"retries"`
+	SkipAdjust  bool    `json:"skip_adjust"`
+}
+
+// Spec projects the deterministic configuration out of o. Recorders and
+// callbacks are dropped; two Options differing only in those project to the
+// same spec.
+func (o Options) Spec() OptionsSpec {
+	return OptionsSpec{
+		Via: ViaSpec{
+			ViaPitch:     o.Via.ViaPitch,
+			BoundaryStep: o.Via.BoundaryStep,
+			JitterFrac:   o.Via.JitterFrac,
+			Seed:         o.Via.Seed,
+		},
+		Graph: GraphSpec{
+			ViaCost:             o.Graph.ViaCost,
+			NaiveCornerCapacity: o.Graph.NaiveCornerCapacity,
+		},
+		Global: GlobalSpec{
+			CongestionThreshold:       o.Global.CongestionThreshold,
+			MaxOrderRounds:            o.Global.MaxOrderRounds,
+			MaxExpansions:             o.Global.MaxExpansions,
+			DisableRUDYOrder:          o.Global.DisableRUDYOrder,
+			DisableDiagonalRefinement: o.Global.DisableDiagonalRefinement,
+			EdgeUsePerNet:             o.Global.EdgeUsePerNet,
+		},
+		Detail: DetailSpec{
+			Candidates:  o.Detail.Candidates,
+			MinMovable:  o.Detail.MinMovable,
+			MaxFitIters: o.Detail.MaxFitIters,
+			Retries:     o.Detail.Retries,
+			SkipAdjust:  o.Detail.SkipAdjust,
+		},
+		TimeBudgetMS: o.TimeBudget.Milliseconds(),
+	}
+}
+
+// Options expands the spec into runnable Options. Recorder fields are left
+// nil; callers attach their own observers.
+func (s OptionsSpec) Options() Options {
+	return Options{
+		Via: viaplan.Options{
+			ViaPitch:     s.Via.ViaPitch,
+			BoundaryStep: s.Via.BoundaryStep,
+			JitterFrac:   s.Via.JitterFrac,
+			Seed:         s.Via.Seed,
+		},
+		Graph: rgraph.Options{
+			ViaCost:             s.Graph.ViaCost,
+			NaiveCornerCapacity: s.Graph.NaiveCornerCapacity,
+		},
+		Global: global.Options{
+			CongestionThreshold:       s.Global.CongestionThreshold,
+			MaxOrderRounds:            s.Global.MaxOrderRounds,
+			MaxExpansions:             s.Global.MaxExpansions,
+			DisableRUDYOrder:          s.Global.DisableRUDYOrder,
+			DisableDiagonalRefinement: s.Global.DisableDiagonalRefinement,
+			EdgeUsePerNet:             s.Global.EdgeUsePerNet,
+		},
+		Detail: detail.Options{
+			Candidates:  s.Detail.Candidates,
+			MinMovable:  s.Detail.MinMovable,
+			MaxFitIters: s.Detail.MaxFitIters,
+			Retries:     s.Detail.Retries,
+			SkipAdjust:  s.Detail.SkipAdjust,
+		},
+		TimeBudget: time.Duration(s.TimeBudgetMS) * time.Millisecond,
+	}
+}
+
+// Canonical returns the byte-stable JSON encoding of the spec: compact, with
+// the field order fixed by the struct definitions above. Equal specs always
+// produce equal bytes, which is the property cache keys need. It fails only
+// on non-finite floats, which Validate-d inputs never contain.
+func (s OptionsSpec) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("router: canonical options: %w", err)
+	}
+	return b, nil
+}
+
+// Fingerprint returns the canonical encoding of o's deterministic
+// configuration, the options half of a result-cache key.
+func (o Options) Fingerprint() ([]byte, error) {
+	return o.Spec().Canonical()
+}

@@ -1,0 +1,75 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rdlroute/internal/obs"
+)
+
+func TestOptionsSpecRoundTrip(t *testing.T) {
+	opt := Options{TimeBudget: 1500 * time.Millisecond}
+	opt.Via.Seed = 42
+	opt.Via.ViaPitch = 100
+	opt.Graph.ViaCost = 7
+	opt.Graph.NaiveCornerCapacity = true
+	opt.Global.MaxExpansions = 1234
+	opt.Global.DisableRUDYOrder = true
+	opt.Detail.Candidates = 5
+	opt.Detail.SkipAdjust = true
+
+	got := opt.Spec().Options()
+	if got.Via != opt.Via || got.Graph != opt.Graph || got.Detail != opt.Detail {
+		t.Errorf("round trip changed stage options:\n got %+v\nwant %+v", got, opt)
+	}
+	// global.Options carries a func field, so compare its spec projection.
+	if got.Spec() != opt.Spec() {
+		t.Errorf("round trip changed spec:\n got %+v\nwant %+v", got.Spec(), opt.Spec())
+	}
+	if got.TimeBudget != opt.TimeBudget {
+		t.Errorf("TimeBudget = %v, want %v", got.TimeBudget, opt.TimeBudget)
+	}
+}
+
+func TestFingerprintIgnoresObservers(t *testing.T) {
+	a := Options{TimeBudget: time.Second}
+	b := a
+	b.Rec = obs.NewCollector()
+	b.Global.Rec = obs.NewCollector()
+	b.Global.AfterEachNet = func(int) {}
+
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fa, fb) {
+		t.Error("fingerprint depends on recorders/callbacks")
+	}
+
+	c := a
+	c.Global.MaxExpansions = 7
+	fc, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fa, fc) {
+		t.Error("fingerprints of different configurations collide")
+	}
+}
+
+func TestOptionsSpecIsValidWireFormat(t *testing.T) {
+	var s OptionsSpec
+	if err := json.Unmarshal([]byte(`{"global": {"max_expansions": 9}, "time_budget_ms": 250}`), &s); err != nil {
+		t.Fatal(err)
+	}
+	opt := s.Options()
+	if opt.Global.MaxExpansions != 9 || opt.TimeBudget != 250*time.Millisecond {
+		t.Errorf("decoded options wrong: %+v", opt)
+	}
+}

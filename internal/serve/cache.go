@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"rdlroute/internal/router"
+)
+
+// cache is the content-addressed LRU result cache. Keys are Key() hashes of
+// (canonical design JSON, canonical options); values are the full
+// router.Output of a completed run. Repeated submissions of the same design
+// — the dominant pattern in net-ordering and parameter sweeps — hit here
+// and skip the pipeline entirely.
+//
+// Cached outputs are shared across jobs and must be treated as read-only by
+// every consumer.
+type cache struct {
+	mu      sync.Mutex
+	entries int
+	ll      *list.List // front = most recently used
+	byKey   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	out *router.Output
+}
+
+// newCache returns an LRU cache holding at most entries results; entries
+// <= 0 disables caching (every Get misses, Put drops).
+func newCache(entries int) *cache {
+	return &cache{
+		entries: entries,
+		ll:      list.New(),
+		byKey:   make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached output for key, refreshing its recency.
+func (c *cache) get(key string) (*router.Output, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// put stores the output under key and returns how many entries were evicted
+// to make room (0 or 1; 0 also covers the disabled cache and overwrites).
+func (c *cache) put(key string, out *router.Output) (evicted int) {
+	if c.entries <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, out: out})
+	for c.ll.Len() > c.entries {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the number of cached results.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

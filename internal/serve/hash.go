@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/router"
+)
+
+// Key returns the content-addressed cache key of a routing request: a
+// sha256 over the canonical JSON of the design and of the options spec,
+// each length-prefixed so the concatenation is unambiguous. Two requests
+// share a key exactly when they describe the same routing problem under the
+// same deterministic configuration — recorders and callbacks are excluded
+// by construction (see router.OptionsSpec).
+func Key(d *design.Design, spec router.OptionsSpec) (string, error) {
+	db, err := d.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	ob, err := spec.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(db)))
+	h.Write(n[:])
+	h.Write(db)
+	binary.LittleEndian.PutUint64(n[:], uint64(len(ob)))
+	h.Write(n[:])
+	h.Write(ob)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/router"
+)
+
+// maxBodyBytes bounds a submission body; a dense RDL design JSON is a few
+// MB, so 64 MB leaves generous headroom without letting one request exhaust
+// memory.
+const maxBodyBytes = 64 << 20
+
+// NewHandler wraps the engine into the HTTP/JSON API:
+//
+//	POST   /v1/jobs             submit {design, options?, priority?}; ?wait=1 blocks
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result metrics + stage breakdown; ?include=routes adds geometry
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness; 503 while draining
+//	GET    /metricsz            engine stats, counters, gauges
+//
+// Every response is JSON. Error responses are {"error": "...", "state"?}
+// with the mapped status code: 400 invalid input, 404 unknown job, 409
+// result not ready, 429 queue full, 503 draining.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", e.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", e.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", e.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", e.handleCancel)
+	mux.HandleFunc("GET /healthz", e.handleHealth)
+	mux.HandleFunc("GET /metricsz", e.handleMetrics)
+	return e.instrument(mux)
+}
+
+// instrument records request count and latency around every call.
+func (e *Engine) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		e.rec.Count("serve.http.requests", 1)
+		e.rec.Gauge("serve.http.latency_ms", ms(time.Since(start)))
+	})
+}
+
+// submitRequest is the POST /v1/jobs body. Unknown fields are rejected:
+// a misspelled "options" must not silently route with defaults.
+type submitRequest struct {
+	Design   json.RawMessage    `json:"design"`
+	Options  router.OptionsSpec `json:"options"`
+	Priority string             `json:"priority"`
+}
+
+// submitResponse answers POST /v1/jobs.
+type submitResponse struct {
+	JobStatus
+	// Key is the content-addressed cache key of the request.
+	Key string `json:"key"`
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Design) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("missing \"design\""))
+		return
+	}
+	d, err := design.ReadJSON(bytes.NewReader(req.Design))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	j, err := e.Submit(Request{Design: d, Spec: req.Options, Priority: prio})
+	if err != nil {
+		httpError(w, submitStatusCode(err), err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if err := j.Wait(r.Context()); err != nil {
+			// Client went away; the job keeps running for the next poll.
+			httpError(w, http.StatusRequestTimeout, err)
+			return
+		}
+	}
+	code := http.StatusAccepted
+	if j.Status().State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitResponse{JobStatus: j.Status(), Key: j.Key()})
+}
+
+func submitStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (e *Engine) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := e.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// resultResponse answers GET /v1/jobs/{id}/result for terminal jobs.
+type resultResponse struct {
+	JobStatus
+	// StageSeconds breaks the run down per pipeline stage; empty for
+	// cache hits (no stages ran for this job).
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	// Violations is the DRC violation count.
+	Violations int `json:"violations"`
+	// Routes is the routed geometry, included with ?include=routes.
+	Routes []*detail.Route `json:"routes,omitempty"`
+}
+
+func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := e.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": ErrNotFinished.Error(),
+			"state": st.State,
+		})
+		return
+	}
+	out, _ := j.Result()
+	resp := resultResponse{JobStatus: st, StageSeconds: j.StageSeconds()}
+	if out != nil {
+		resp.Violations = len(out.Violations)
+		if r.URL.Query().Get("include") == "routes" && out.DetailResult != nil {
+			resp.Routes = out.DetailResult.Routes
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (e *Engine) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := e.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (e *Engine) handleHealth(w http.ResponseWriter, r *http.Request) {
+	e.mu.Lock()
+	draining := e.draining
+	e.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		// Load balancers interpret the 503 as "stop sending traffic here"
+		// while in-flight jobs finish.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ok": !draining, "draining": draining})
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v) // client went away; nothing sensible to do
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

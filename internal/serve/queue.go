@@ -1,0 +1,83 @@
+package serve
+
+import "sync"
+
+// queue is the bounded, priority-ordered job queue feeding the worker pool.
+// Push never blocks: a full queue is the caller's problem (ErrQueueFull →
+// HTTP 429), which is the backpressure contract of the service. Pop blocks
+// until a job arrives or the queue is closed.
+type queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	capacity int
+	closed   bool
+	// lanes[p] is the FIFO of queued jobs at Priority p.
+	lanes [High + 1][]*Job
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends the job to its priority lane. It fails with ErrQueueFull at
+// capacity and ErrDraining after close.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.lenLocked() >= q.capacity {
+		return ErrQueueFull
+	}
+	q.lanes[j.priority] = append(q.lanes[j.priority], j)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// pop removes the highest-priority oldest job, blocking while the queue is
+// empty. ok is false once the queue is closed and drained.
+func (q *queue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for p := High; p >= Low; p-- {
+			if lane := q.lanes[p]; len(lane) > 0 {
+				j = lane[0]
+				lane[0] = nil // let the job be collected once finished
+				q.lanes[p] = lane[1:]
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.notEmpty.Wait()
+	}
+}
+
+// close stops the queue: pushes fail, and pops return ok=false once the
+// remaining jobs are drained.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+}
+
+// len returns the number of queued jobs.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lenLocked()
+}
+
+func (q *queue) lenLocked() int {
+	n := 0
+	for _, lane := range q.lanes {
+		n += len(lane)
+	}
+	return n
+}
