@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-serve fmt
+.PHONY: all tier1 tier2 race-gate bench bench-serve bench-drc fmt
 
 all: tier1
 
@@ -15,6 +15,12 @@ tier2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Focused race gate over the concurrency-bearing packages: the parallel
+# DRC/verify engines and the serving layer. Faster than a full tier2 run.
+race-gate:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/detail/ ./internal/verify/ ./internal/serve/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -23,6 +29,13 @@ bench:
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchmem ./internal/serve/
+
+# Design-rule checker, serial vs. parallel pool sizes on the dense
+# benchmarks. Writes machine-readable results (ms/check, speedup vs the
+# workers=1 reference, host CPU count) to BENCH_drc.json.
+bench-drc:
+	BENCH_DRC_OUT=$(CURDIR)/BENCH_drc.json \
+		$(GO) test -run '^$$' -bench BenchmarkDRC -benchmem ./internal/detail/
 
 fmt:
 	gofmt -l -w .

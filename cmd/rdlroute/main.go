@@ -6,13 +6,16 @@
 // Usage:
 //
 //	rdlroute [-router ours|cai|aarf] [-budget 30s] [-svg out.svg -layer 0]
-//	         [-routes out.json] [-stats] [-trace out.jsonl] [-progress]
+//	         [-routes out.json] [-stats] [-verify off|warn|strict]
+//	         [-trace out.jsonl] [-progress]
 //	         [-strict] (-design file.json | -case dense1)
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels routing; the partial
 // result routed so far is still reported. With -strict the process exits
 // with code 3 when the time budget cut the run short and code 4 when nets
-// were left unrouted.
+// were left unrouted. -verify warn runs the independent verification gate
+// and prints its findings; -verify strict additionally exits with code 5
+// when the gate reports any finding.
 package main
 
 import (
@@ -51,6 +54,8 @@ func main() {
 			code = 3
 		case errors.Is(err, router.ErrUnroutable):
 			code = 4
+		case errors.Is(err, router.ErrVerifyFailed):
+			code = 5
 		}
 		log.Print(err)
 		os.Exit(code)
@@ -69,7 +74,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		layer      = fs.Int("layer", 0, "wire layer for -svg")
 		routesPath = fs.String("routes", "", "write routed geometry JSON to this file")
 		showStats  = fs.Bool("stats", false, "print geometry statistics (angle histogram, per-layer WL)")
-		doVerify   = fs.Bool("verify", false, "run the independent result verifier and print its summary")
+		verifyFlag = fs.String("verify", "off", "verification gate: off, warn (print findings) or strict (exit 5 on findings)")
 		tracePath  = fs.String("trace", "", "write a JSON-lines event trace (spans, counters, progress) to this file")
 		progress   = fs.Bool("progress", false, "print live per-stage progress to stderr")
 		strict     = fs.Bool("strict", false, "fail with exit code 3 on timeout, 4 on unrouted nets")
@@ -77,9 +82,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	vmode, err := router.ParseVerifyMode(*verifyFlag)
+	if err != nil {
+		return err
+	}
 
 	var d *design.Design
-	var err error
 	switch {
 	case *designPath != "":
 		d, err = design.LoadFile(*designPath)
@@ -114,16 +122,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// with the partial result; the summary line is printed either way so the
 	// work done so far is never lost.
 	var routes []*detail.Route
+	var report *verify.Report
 	var routeErr error
 	timedOut := false
 	unrouted := 0
 	switch *which {
 	case "ours":
-		out, err := router.Route(ctx, d, router.Options{TimeBudget: *budget, Rec: rec})
+		out, err := router.Route(ctx, d, router.Options{TimeBudget: *budget, Rec: rec, Verify: vmode})
 		if out == nil {
 			return err
 		}
 		routeErr = err
+		report = out.VerifyReport
 		m := out.Metrics
 		fmt.Fprintf(stdout, "router=ours design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm vias=%d runtime=%v drc=%d timedOut=%v\n",
 			d.Name, m.RoutedNets, m.TotalNets, m.Routability*100, m.Wirelength,
@@ -158,20 +168,31 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -router %q", *which)
 	}
-	if routeErr != nil {
+	// A strict-mode verification failure still carries the full output; hold
+	// the error so the summary, stats and artifacts below are emitted before
+	// the process exits with code 5.
+	if routeErr != nil && !errors.Is(routeErr, router.ErrVerifyFailed) {
 		return routeErr
+	}
+
+	// The baseline routers have no pipeline gate; run the verifier on their
+	// output directly so all three routers answer to the same sign-off.
+	if vmode != router.VerifyOff && report == nil {
+		report = verify.Check(d, routes, verify.Options{Rec: rec})
+		if vmode == router.VerifyStrict && !report.OK() {
+			routeErr = &router.VerifyError{Report: report}
+		}
 	}
 
 	if *showStats {
 		stats.Analyze(routes).Print(stdout)
 	}
-	if *doVerify {
-		rep := verify.Verify(d, routes)
+	if report != nil {
 		fmt.Fprintf(stdout, "verify: %d nets checked, %d findings (connectivity=%d via-via=%d via-wire=%d placement=%d rule=%d)\n",
-			rep.CheckedNets, len(rep.Problems),
-			rep.Count(verify.BrokenConnectivity), rep.Count(verify.ViaViaSpacing),
-			rep.Count(verify.ViaWireSpacing), rep.Count(verify.ViaPlacement),
-			rep.Count(verify.RuleViolation))
+			report.CheckedNets, len(report.Problems),
+			report.Count(verify.BrokenConnectivity), report.Count(verify.ViaViaSpacing),
+			report.Count(verify.ViaWireSpacing), report.Count(verify.ViaPlacement),
+			report.Count(verify.RuleViolation))
 	}
 	if *svgPath != "" {
 		f, err := os.Create(*svgPath)
@@ -211,5 +232,6 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return fmt.Errorf("%d nets left unrouted: %w", unrouted, router.ErrUnroutable)
 		}
 	}
-	return nil
+	// Deferred strict-verify failure, if any (exit code 5).
+	return routeErr
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
+	"rdlroute/internal/router"
 )
 
 func TestRunNoInput(t *testing.T) {
@@ -170,7 +172,7 @@ func TestRunMissingDesignFile(t *testing.T) {
 
 func TestRunVerifyFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), []string{"-case", "dense1", "-verify"}, &sb); err != nil {
+	if err := run(context.Background(), []string{"-case", "dense1", "-verify", "warn"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "verify: 22 nets checked") {
@@ -178,5 +180,44 @@ func TestRunVerifyFlag(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "connectivity=0") {
 		t.Error("verify should report clean connectivity")
+	}
+}
+
+func TestRunVerifyStrictFindings(t *testing.T) {
+	// dense1 routes with a known handful of spacing findings (the golden bar
+	// allows up to 40), so strict mode must fail with ErrVerifyFailed — and
+	// still print the summary and the routing result first.
+	var sb strings.Builder
+	err := run(context.Background(), []string{"-case", "dense1", "-verify", "strict"}, &sb)
+	if !errors.Is(err, router.ErrVerifyFailed) {
+		t.Fatalf("strict verify error = %v, want ErrVerifyFailed", err)
+	}
+	if !strings.Contains(sb.String(), "router=ours") {
+		t.Errorf("routing summary missing before the verify failure:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "verify: 22 nets checked") {
+		t.Errorf("verify summary missing:\n%s", sb.String())
+	}
+}
+
+func TestRunVerifyBaselines(t *testing.T) {
+	// The baseline routers have no pipeline gate; -verify must still run the
+	// checker on their geometry. (They may leave nets unrouted, so only the
+	// summary's presence is pinned, not its counts.)
+	for _, r := range []string{"cai", "aarf"} {
+		var sb strings.Builder
+		if err := run(context.Background(), []string{"-case", "dense1", "-router", r, "-verify", "warn"}, &sb); err != nil {
+			t.Fatalf("%s: %v", r, err)
+		}
+		if !strings.Contains(sb.String(), "nets checked") {
+			t.Errorf("%s verify output missing:\n%s", r, sb.String())
+		}
+	}
+}
+
+func TestRunVerifyBadMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-case", "dense1", "-verify", "sometimes"}, &sb); err == nil {
+		t.Error("unknown verify mode must error")
 	}
 }

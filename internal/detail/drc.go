@@ -3,14 +3,20 @@ package detail
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 )
 
 // Design-rule checking over finished detailed routes. A uniform spatial hash
 // buckets wire segments per layer so the pairwise spacing check only visits
-// nearby candidates.
+// nearby candidates. The check decomposes into independent work units —
+// per-layer grid builds, per-stripe spacing scans, per-net wire rules — that
+// a worker pool can run concurrently; see drc_engine.go. Findings come back
+// in canonical order (sorted by layer, kind, nets, position) regardless of
+// the worker count, so the serial and parallel paths are byte-identical.
 
 // Violation describes one design-rule violation.
 type Violation struct {
@@ -75,107 +81,37 @@ func (v Violation) String() string {
 	}
 }
 
-// CheckDRC verifies all three §II-B wire rules over the routes and returns
-// every violation found (spacing is reported once per offending segment
-// pair). The epsilon loosens comparisons to ignore float-level noise from
-// the tangent constructions. Nets are treated as electrically distinct; use
-// CheckDRCWithDesign for group-aware (multi-pin) checking.
-func CheckDRC(routes []*Route, rules design.Rules, layers int) []Violation {
-	return checkDRCGrouped(routes, rules, layers,
-		func(a, b int) bool { return a == b },
-		func(a, b int) float64 { return rules.Pitch() })
+// DRCOptions tunes the parallel checker.
+type DRCOptions struct {
+	// Workers is the worker-pool size. Zero or negative selects GOMAXPROCS
+	// capped at 8; 1 runs the units serially (the reference path the
+	// differential tests compare against).
+	Workers int
+	// Rec receives the checker's stage spans and findings-by-kind counters.
+	// Nil selects the no-op recorder.
+	Rec obs.Recorder
 }
 
-// checkDRCGrouped is CheckDRC with configurable same-net and pairwise
-// clearance predicates (multi-pin groups, per-net widths).
-func checkDRCGrouped(routes []*Route, rules design.Rules, layers int,
-	sameNet func(a, b int) bool, clearFn func(a, b int) float64) []Violation {
-	const eps = 1e-6
-	var out []Violation
-	clearance := rules.Pitch()
-
-	for layer := 0; layer < layers; layer++ {
-		segs := SegmentsOnLayer(routes, layer)
-		// Spatial hash over segments.
-		cell := math.Max(clearance*8, 50)
-		type entry struct {
-			net int
-			seg geom.Segment
-		}
-		grid := make(map[[2]int][]entry)
-		keyOf := func(p geom.Point) [2]int {
-			return [2]int{int(math.Floor(p.X / cell)), int(math.Floor(p.Y / cell))}
-		}
-		insert := func(net int, s geom.Segment) {
-			k0 := keyOf(s.A)
-			k1 := keyOf(s.B)
-			for x := minInt(k0[0], k1[0]); x <= maxInt(k0[0], k1[0]); x++ {
-				for y := minInt(k0[1], k1[1]); y <= maxInt(k0[1], k1[1]); y++ {
-					grid[[2]int{x, y}] = append(grid[[2]int{x, y}], entry{net, s})
-				}
-			}
-		}
-		for _, rl := range segs {
-			for _, s := range rl.Pl.Segments() {
-				insert(rl.Net, s)
-			}
-		}
-		// Pairwise spacing within neighbouring cells.
-		seen := make(map[[4]float64]bool)
-		for _, rl := range segs {
-			for _, s := range rl.Pl.Segments() {
-				k0 := keyOf(s.A)
-				k1 := keyOf(s.B)
-				for x := minInt(k0[0], k1[0]) - 1; x <= maxInt(k0[0], k1[0])+1; x++ {
-					for y := minInt(k0[1], k1[1]) - 1; y <= maxInt(k0[1], k1[1])+1; y++ {
-						for _, e := range grid[[2]int{x, y}] {
-							if e.net <= rl.Net || sameNet(e.net, rl.Net) {
-								continue // each unordered pair once, skip same net
-							}
-							limit := clearFn(rl.Net, e.net)
-							dist, pa, _ := s.DistToSegment(e.seg)
-							if dist >= limit-eps {
-								continue
-							}
-							sig := [4]float64{pa.X, pa.Y, float64(rl.Net), float64(e.net)}
-							if seen[sig] {
-								continue
-							}
-							seen[sig] = true
-							out = append(out, Violation{
-								Kind: SpacingViolation, Layer: layer,
-								NetA: rl.Net, NetB: e.net, Where: pa,
-								Value: dist, Limit: limit,
-							})
-						}
-					}
-				}
-			}
-		}
-		// Per-net angle and turn-distance rules.
-		for _, rl := range segs {
-			pl := rl.Pl
-			for i := 1; i+1 < len(pl); i++ {
-				turn := geom.TurnAngle(pl[i-1], pl[i], pl[i+1])
-				if turn > math.Pi/2+1e-6 {
-					out = append(out, Violation{
-						Kind: AngleViolation, Layer: layer, NetA: rl.Net, NetB: -1,
-						Where: pl[i], Value: turn, Limit: math.Pi / 2,
-					})
-				}
-			}
-			for i := 2; i+1 < len(pl); i++ {
-				d := pl[i-1].Dist(pl[i])
-				if d < rules.MinTurnDist-eps {
-					out = append(out, Violation{
-						Kind: TurnDistViolation, Layer: layer, NetA: rl.Net, NetB: -1,
-						Where: pl[i], Value: d, Limit: rules.MinTurnDist,
-					})
-				}
-			}
-		}
+func (o DRCOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
 	}
-	return out
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// CheckDRC verifies all three §II-B wire rules over the routes and returns
+// every violation found (spacing is reported once per offending segment
+// pair). Nets are treated as electrically distinct; use CheckDRCWithDesign
+// for group-aware (multi-pin) checking.
+func CheckDRC(routes []*Route, rules design.Rules, layers int) []Violation {
+	return checkDRC(routes, rules, layers,
+		func(a, b int) bool { return a == b },
+		func(a, b int) float64 { return rules.Pitch() },
+		nil, 1, nil)
 }
 
 // CheckDRCWithDesign runs the rule checks with group-aware same-net
@@ -183,26 +119,15 @@ func checkDRCGrouped(routes []*Route, rules design.Rules, layers int,
 // and additionally verifies that no wire enters any of the design's
 // keep-out regions.
 func CheckDRCWithDesign(routes []*Route, d *design.Design) []Violation {
-	out := checkDRCGrouped(routes, d.Rules, d.WireLayers, d.SameGroup, d.Clearance)
-	if len(d.Obstacles) == 0 {
-		return out
-	}
-	for _, rt := range routes {
-		if rt == nil {
-			continue
-		}
-		for _, seg := range rt.Segs {
-			for _, s := range seg.Pl.Segments() {
-				if d.SegmentBlocked(s, seg.Layer, 0) {
-					out = append(out, Violation{
-						Kind: ObstacleViolation, Layer: seg.Layer,
-						NetA: rt.Net, NetB: -1, Where: s.Mid(),
-					})
-				}
-			}
-		}
-	}
-	return out
+	return checkDRC(routes, d.Rules, d.WireLayers, d.SameGroup, d.Clearance, d, 1, nil)
+}
+
+// CheckDRCParallel is CheckDRCWithDesign fanned out over a worker pool per
+// (layer, grid stripe). The findings are identical to the serial path —
+// same violations, same order — only the wall-clock differs.
+func CheckDRCParallel(routes []*Route, d *design.Design, opt DRCOptions) []Violation {
+	return checkDRC(routes, d.Rules, d.WireLayers, d.SameGroup, d.Clearance,
+		d, opt.workers(), opt.Rec)
 }
 
 // NetsWithViolations returns the set of net IDs involved in any violation.

@@ -1,0 +1,326 @@
+package detail
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
+)
+
+// The DRC engine decomposes the check into independent work units and runs
+// them on a worker pool. Unit boundaries are fixed (independent of the
+// worker count) and the merged findings are canonically sorted, so any pool
+// size produces byte-identical output.
+
+const (
+	// drcSpacingChunk is the number of source segments per spacing unit.
+	drcSpacingChunk = 256
+	// drcLineChunk is the number of polylines per wire-rule unit and routes
+	// per obstacle unit.
+	drcLineChunk = 64
+)
+
+// drcSeg is one wire segment inserted into a layer's spatial hash.
+type drcSeg struct {
+	net int
+	// id is the segment's dense per-layer index in canonical order (net
+	// order, then polyline order); the spacing scan dedupes findings by the
+	// unordered pair (id, id).
+	id  int
+	seg geom.Segment
+}
+
+// drcLayer is the prepared per-layer state the spacing and wire-rule units
+// read concurrently (read-only after the build phase).
+type drcLayer struct {
+	layer int
+	cell  float64
+	segs  []drcSeg
+	lines []RouteOnLayer
+	// grid buckets indices into segs by cell.
+	grid map[[2]int][]int
+}
+
+func (l *drcLayer) key(p geom.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / l.cell)), int(math.Floor(p.Y / l.cell))}
+}
+
+// buildLayer collects the layer's segments, sizes the spatial hash, and
+// fills the grid.
+//
+// The cell must be at least the largest pairwise clearance of any two nets
+// present on the layer: the spacing scan only visits cells within ±1 of a
+// segment's own cells, so a pair whose clearance exceeded the cell size
+// could sit outside the window and a real violation would be silently
+// missed. The old pitch-derived sizing had exactly that hole for wide
+// (per-net width) nets; deriving the cell from clearFn over the
+// participating nets closes it.
+func buildLayer(routes []*Route, layer int, rules design.Rules,
+	sameNet func(a, b int) bool, clearFn func(a, b int) float64) *drcLayer {
+	l := &drcLayer{layer: layer, lines: SegmentsOnLayer(routes, layer)}
+
+	// Distinct nets on the layer, in ascending order (lines are net-sorted).
+	var nets []int
+	for _, rl := range l.lines {
+		if len(nets) == 0 || nets[len(nets)-1] != rl.Net {
+			nets = append(nets, rl.Net)
+		}
+	}
+	maxClear := 0.0
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			if sameNet(nets[i], nets[j]) {
+				continue
+			}
+			if c := clearFn(nets[i], nets[j]); c > maxClear {
+				maxClear = c
+			}
+		}
+	}
+	// 8× pitch and the 50 µm floor keep cells coarse enough that sparse
+	// layers don't fragment into millions of buckets; maxClear is the
+	// correctness bound.
+	l.cell = math.Max(math.Max(maxClear, rules.Pitch()*8), 50)
+
+	for _, rl := range l.lines {
+		for _, s := range rl.Pl.Segments() {
+			l.segs = append(l.segs, drcSeg{net: rl.Net, id: len(l.segs), seg: s})
+		}
+	}
+	l.grid = make(map[[2]int][]int)
+	for i, e := range l.segs {
+		k0 := l.key(e.seg.A)
+		k1 := l.key(e.seg.B)
+		for x := minInt(k0[0], k1[0]); x <= maxInt(k0[0], k1[0]); x++ {
+			for y := minInt(k0[1], k1[1]); y <= maxInt(k0[1], k1[1]); y++ {
+				l.grid[[2]int{x, y}] = append(l.grid[[2]int{x, y}], i)
+			}
+		}
+	}
+	return l
+}
+
+// spacingUnit checks the source segments segs[lo:hi] against the grid.
+// Each unordered pair is examined once, from its lower net's side; findings
+// are deduplicated by segment-pair identity (both segments may span several
+// cells and meet in more than one, and two distinct pairs can share a
+// witness point — the identity, not the float witness, is what makes a
+// finding unique).
+func (l *drcLayer) spacingUnit(lo, hi int,
+	sameNet func(a, b int) bool, clearFn func(a, b int) float64) []Violation {
+	const eps = 1e-6
+	var out []Violation
+	seen := make(map[[2]int]bool)
+	for si := lo; si < hi; si++ {
+		s := l.segs[si]
+		k0 := l.key(s.seg.A)
+		k1 := l.key(s.seg.B)
+		for x := minInt(k0[0], k1[0]) - 1; x <= maxInt(k0[0], k1[0])+1; x++ {
+			for y := minInt(k0[1], k1[1]) - 1; y <= maxInt(k0[1], k1[1])+1; y++ {
+				for _, ei := range l.grid[[2]int{x, y}] {
+					e := l.segs[ei]
+					if e.net <= s.net || sameNet(e.net, s.net) {
+						continue
+					}
+					if seen[[2]int{s.id, e.id}] {
+						continue
+					}
+					limit := clearFn(s.net, e.net)
+					dist, pa, _ := s.seg.DistToSegment(e.seg)
+					if dist >= limit-eps {
+						continue
+					}
+					seen[[2]int{s.id, e.id}] = true
+					out = append(out, Violation{
+						Kind: SpacingViolation, Layer: l.layer,
+						NetA: s.net, NetB: e.net, Where: pa,
+						Value: dist, Limit: limit,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// wireRuleUnit checks the per-net angle and turn-distance rules over
+// lines[lo:hi].
+func (l *drcLayer) wireRuleUnit(lo, hi int, rules design.Rules) []Violation {
+	const eps = 1e-6
+	var out []Violation
+	for _, rl := range l.lines[lo:hi] {
+		pl := rl.Pl
+		for i := 1; i+1 < len(pl); i++ {
+			turn := geom.TurnAngle(pl[i-1], pl[i], pl[i+1])
+			if turn > math.Pi/2+eps {
+				out = append(out, Violation{
+					Kind: AngleViolation, Layer: l.layer, NetA: rl.Net, NetB: -1,
+					Where: pl[i], Value: turn, Limit: math.Pi / 2,
+				})
+			}
+		}
+		for i := 2; i+1 < len(pl); i++ {
+			d := pl[i-1].Dist(pl[i])
+			if d < rules.MinTurnDist-eps {
+				out = append(out, Violation{
+					Kind: TurnDistViolation, Layer: l.layer, NetA: rl.Net, NetB: -1,
+					Where: pl[i], Value: d, Limit: rules.MinTurnDist,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// obstacleUnit checks routes[lo:hi] against the design's keep-out regions.
+func obstacleUnit(routes []*Route, lo, hi int, d *design.Design) []Violation {
+	var out []Violation
+	for _, rt := range routes[lo:hi] {
+		if rt == nil {
+			continue
+		}
+		for _, seg := range rt.Segs {
+			for _, s := range seg.Pl.Segments() {
+				if d.SegmentBlocked(s, seg.Layer, 0) {
+					out = append(out, Violation{
+						Kind: ObstacleViolation, Layer: seg.Layer,
+						NetA: rt.Net, NetB: -1, Where: s.Mid(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runUnits executes the units on a pool of the given size and concatenates
+// their outputs in unit order.
+func runUnits(units []func() []Violation, workers int) []Violation {
+	results := make([][]Violation, len(units))
+	if workers <= 1 || len(units) <= 1 {
+		for i, u := range units {
+			results[i] = u()
+		}
+	} else {
+		if workers > len(units) {
+			workers = len(units)
+		}
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1)
+					if i >= int64(len(units)) {
+						return
+					}
+					results[i] = units[i]()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var out []Violation
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// sortViolations puts findings into the engine's canonical order. The key is
+// a total order over everything a violation carries, so the result is
+// independent of unit boundaries and worker scheduling.
+func sortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		switch {
+		case a.Layer != b.Layer:
+			return a.Layer < b.Layer
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.NetA != b.NetA:
+			return a.NetA < b.NetA
+		case a.NetB != b.NetB:
+			return a.NetB < b.NetB
+		case a.Where.X != b.Where.X:
+			return a.Where.X < b.Where.X
+		case a.Where.Y != b.Where.Y:
+			return a.Where.Y < b.Where.Y
+		case a.Value != b.Value:
+			return a.Value < b.Value
+		default:
+			return a.Limit < b.Limit
+		}
+	})
+}
+
+// checkDRC is the shared engine behind CheckDRC, CheckDRCWithDesign and
+// CheckDRCParallel. d is only consulted for keep-out regions and may be nil.
+func checkDRC(routes []*Route, rules design.Rules, layers int,
+	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
+	d *design.Design, workers int, rec obs.Recorder) []Violation {
+	rec = obs.Or(rec)
+
+	// Phase 1: per-layer grids, built concurrently across layers.
+	span := obs.StartSpan(rec, "drc.grid")
+	prepped := make([]*drcLayer, layers)
+	prepUnits := make([]func() []Violation, layers)
+	for layer := 0; layer < layers; layer++ {
+		layer := layer
+		prepUnits[layer] = func() []Violation {
+			prepped[layer] = buildLayer(routes, layer, rules, sameNet, clearFn)
+			return nil
+		}
+	}
+	runUnits(prepUnits, workers)
+	span.End()
+
+	// Phase 2: spacing stripes, wire rules, and keep-outs, in a fixed unit
+	// order so the concatenation is deterministic.
+	span = obs.StartSpan(rec, "drc.scan")
+	var units []func() []Violation
+	for _, l := range prepped {
+		l := l
+		for lo := 0; lo < len(l.segs); lo += drcSpacingChunk {
+			lo, hi := lo, minInt(lo+drcSpacingChunk, len(l.segs))
+			units = append(units, func() []Violation {
+				return l.spacingUnit(lo, hi, sameNet, clearFn)
+			})
+		}
+		for lo := 0; lo < len(l.lines); lo += drcLineChunk {
+			lo, hi := lo, minInt(lo+drcLineChunk, len(l.lines))
+			units = append(units, func() []Violation {
+				return l.wireRuleUnit(lo, hi, rules)
+			})
+		}
+	}
+	if d != nil && len(d.Obstacles) > 0 {
+		for lo := 0; lo < len(routes); lo += drcLineChunk {
+			lo, hi := lo, minInt(lo+drcLineChunk, len(routes))
+			units = append(units, func() []Violation {
+				return obstacleUnit(routes, lo, hi, d)
+			})
+		}
+	}
+	out := runUnits(units, workers)
+	span.End()
+
+	sortViolations(out)
+	if rec.Enabled() {
+		byKind := make(map[ViolationKind]int64)
+		for _, v := range out {
+			byKind[v.Kind]++
+		}
+		for k, n := range byKind {
+			rec.Count("drc.violations."+k.String(), n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package detail
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// routedCase routes a dense benchmark once and caches the result so the
+// differential tests and the DRC benchmark share one routing run per case.
+var routedCase = func() func(tb testing.TB, name string) (*design.Design, []*Route) {
+	type entry struct {
+		d      *design.Design
+		routes []*Route
+	}
+	var mu sync.Mutex
+	cache := map[string]entry{}
+	return func(tb testing.TB, name string) (*design.Design, []*Route) {
+		tb.Helper()
+		mu.Lock()
+		defer mu.Unlock()
+		if e, ok := cache[name]; ok {
+			return e.d, e.routes
+		}
+		r, _, dres := pipeline(tb, name, Options{})
+		e := entry{d: r.G.Design, routes: dres.Routes}
+		cache[name] = e
+		return e.d, e.routes
+	}
+}()
+
+// regrid rebuilds a layer's spatial hash at an arbitrary cell size, so a
+// test can reproduce the pre-fix pitch-derived sizing.
+func regrid(l *drcLayer, cell float64) *drcLayer {
+	n := &drcLayer{layer: l.layer, cell: cell, segs: l.segs, lines: l.lines}
+	n.grid = make(map[[2]int][]int)
+	for i, e := range n.segs {
+		k0 := n.key(e.seg.A)
+		k1 := n.key(e.seg.B)
+		for x := minInt(k0[0], k1[0]); x <= maxInt(k0[0], k1[0]); x++ {
+			for y := minInt(k0[1], k1[1]); y <= maxInt(k0[1], k1[1]); y++ {
+				n.grid[[2]int{x, y}] = append(n.grid[[2]int{x, y}], i)
+			}
+		}
+	}
+	return n
+}
+
+// TestDRCWideClearanceRegression pins the spatial-hash soundness fix: the
+// cell must be sized from the largest pairwise clearance, not the pitch.
+// Net 0 is a 220 µm power rail, so its clearance against a default-width
+// net is (220+2)/2 + 2 = 113 µm — more than double the old pitch-derived
+// 50 µm cell. Two wires 105 µm apart violate that clearance, but under the
+// old sizing they land two grid rows apart, outside the ±1-cell search
+// window, and the violation went unreported.
+func TestDRCWideClearanceRegression(t *testing.T) {
+	d := &design.Design{
+		Rules:      design.DefaultRules(),
+		WireLayers: 1,
+		Nets:       []design.Net{{ID: 0, Width: 220}, {ID: 1}},
+	}
+	routes := []*Route{
+		{Net: 0, Segs: []RouteSeg{{Layer: 0, Pl: geom.Polyline{geom.Pt(0, 0), geom.Pt(400, 0)}}}},
+		{Net: 1, Segs: []RouteSeg{{Layer: 0, Pl: geom.Polyline{geom.Pt(0, 105), geom.Pt(400, 105)}}}},
+	}
+	limit := d.Clearance(0, 1)
+	if limit <= 8*d.Rules.Pitch() {
+		t.Fatalf("test geometry too narrow: clearance %v must exceed the old 8×pitch cell %v",
+			limit, 8*d.Rules.Pitch())
+	}
+
+	vs := CheckDRCWithDesign(routes, d)
+	if len(vs) != 1 || vs[0].Kind != SpacingViolation {
+		t.Fatalf("wide-clearance violation not found: %v", vs)
+	}
+	if vs[0].Value != 105 || vs[0].Limit != limit {
+		t.Errorf("violation = %v, want 105 < %v", vs[0], limit)
+	}
+
+	// The engine's cell honours the correctness bound.
+	l := buildLayer(routes, 0, d.Rules, d.SameGroup, d.Clearance)
+	if l.cell < limit {
+		t.Errorf("cell %v below the max pairwise clearance %v", l.cell, limit)
+	}
+
+	// Demonstrate the pre-fix hole: the same scan over a grid with the old
+	// pitch-derived cell misses the violation entirely.
+	old := regrid(l, math.Max(8*d.Rules.Pitch(), 50))
+	if got := old.spacingUnit(0, len(old.segs), d.SameGroup, d.Clearance); len(got) != 0 {
+		t.Logf("old sizing unexpectedly found %v (geometry no longer demonstrates the hole)", got)
+	} else {
+		t.Logf("confirmed: pitch-sized cell %v misses the %v-clearance violation", old.cell, limit)
+	}
+}
+
+// TestDRCSpacingPairDedupe pins the finding-identity fix: findings are
+// unique per segment pair, not per float witness point.
+func TestDRCSpacingPairDedupe(t *testing.T) {
+	rules := design.DefaultRules()
+
+	// Two distinct net-1 segments both at distance 1 from the same net-0
+	// wire, with the identical witness point (3, 0) on it. The old
+	// witness-signature dedupe collapsed these to one finding.
+	routes := []*Route{
+		{Net: 0, Segs: []RouteSeg{{Layer: 0, Pl: geom.Polyline{geom.Pt(0, 0), geom.Pt(10, 0)}}}},
+		{Net: 1, Segs: []RouteSeg{
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(3, 1), geom.Pt(3, 5)}},
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(3, -1), geom.Pt(3, -5)}},
+		}},
+	}
+	var spacing []Violation
+	for _, v := range CheckDRC(routes, rules, 1) {
+		if v.Kind == SpacingViolation {
+			spacing = append(spacing, v)
+		}
+	}
+	if len(spacing) != 2 {
+		t.Errorf("shared-witness pairs: %d spacing findings, want 2: %v", len(spacing), spacing)
+	}
+
+	// The converse: one segment pair running close together through many
+	// grid cells is still a single finding.
+	long := []*Route{
+		{Net: 0, Segs: []RouteSeg{{Layer: 0, Pl: geom.Polyline{geom.Pt(0, 0), geom.Pt(400, 0)}}}},
+		{Net: 1, Segs: []RouteSeg{{Layer: 0, Pl: geom.Polyline{geom.Pt(0, 1), geom.Pt(400, 1)}}}},
+	}
+	spacing = spacing[:0]
+	for _, v := range CheckDRC(long, rules, 1) {
+		if v.Kind == SpacingViolation {
+			spacing = append(spacing, v)
+		}
+	}
+	if len(spacing) != 1 {
+		t.Errorf("multi-cell pair: %d spacing findings, want 1: %v", len(spacing), spacing)
+	}
+}
+
+// TestDRCParallelMatchesSerial is the tentpole's differential guarantee:
+// for every dense benchmark the parallel checker returns byte-identical
+// findings to the serial reference, at every pool size.
+func TestDRCParallelMatchesSerial(t *testing.T) {
+	cases := design.DenseNames()
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, name := range cases {
+		d, routes := routedCase(t, name)
+		serial := CheckDRCParallel(routes, d, DRCOptions{Workers: 1})
+		ref := fmt.Sprintf("%v", serial)
+		for _, workers := range []int{2, 3, 4, 8} {
+			par := CheckDRCParallel(routes, d, DRCOptions{Workers: workers})
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("%s: %d-worker findings differ from serial (%d vs %d violations)",
+					name, workers, len(par), len(serial))
+			}
+			if got := fmt.Sprintf("%v", par); got != ref {
+				t.Fatalf("%s: %d-worker findings not byte-identical to serial", name, workers)
+			}
+		}
+		t.Logf("%s: %d violations identical across worker counts 1,2,3,4,8", name, len(serial))
+	}
+}
+
+// TestDRCGroupedMatchesLegacy checks the engine funnel: the legacy
+// CheckDRCWithDesign entry point and the parallel one agree.
+func TestDRCGroupedMatchesLegacy(t *testing.T) {
+	d, routes := routedCase(t, "dense1")
+	a := CheckDRCWithDesign(routes, d)
+	b := CheckDRCParallel(routes, d, DRCOptions{Workers: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("CheckDRCWithDesign and CheckDRCParallel disagree: %d vs %d", len(a), len(b))
+	}
+}

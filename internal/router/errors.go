@@ -2,8 +2,10 @@ package router
 
 import (
 	"errors"
+	"fmt"
 
 	"rdlroute/internal/global"
+	"rdlroute/internal/verify"
 )
 
 // ErrTimeout is installed as the cancellation cause of the context derived
@@ -16,3 +18,37 @@ var ErrTimeout = errors.New("router: time budget exceeded")
 // aliases the global router's error so errors.Is works across both
 // packages.
 var ErrUnroutable = global.ErrUnroutable
+
+// ErrVerifyFailed is the sentinel matched by errors.Is for strict-mode
+// verification failures. The concrete error is a *VerifyError carrying the
+// full problem list.
+var ErrVerifyFailed = errors.New("router: verification failed")
+
+// VerifyError is the strict-gate failure: the pipeline produced a result,
+// but the independent verifier found problems with it. The partial Output
+// (including Output.VerifyReport) is still returned alongside the error.
+type VerifyError struct {
+	Report *verify.Report
+}
+
+// Error summarizes the findings; the full list lives in Report.
+func (e *VerifyError) Error() string {
+	n := len(e.Report.Problems)
+	msg := fmt.Sprintf("router: verification failed with %d finding", n)
+	if n != 1 {
+		msg += "s"
+	}
+	if n > 0 {
+		msg += ": " + e.Report.Problems[0].Kind.String()
+		if p := e.Report.Problems[0]; p.Msg != "" {
+			msg += " (" + p.Msg + ")"
+		}
+		if n > 1 {
+			msg += ", ..."
+		}
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrVerifyFailed) succeed.
+func (e *VerifyError) Unwrap() error { return ErrVerifyFailed }

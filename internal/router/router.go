@@ -2,7 +2,9 @@
 // via planning → routing-graph construction → global routing (crossing-aware
 // A* with the Eq. 1/Eq. 2 capacity model, RUDY ordering, diagonal utility
 // refinement, net-order adjustment) → detailed routing (DP access-point
-// adjustment, fit-routing tile legalization) → design-rule checking.
+// adjustment, fit-routing tile legalization) → design-rule checking →
+// optional verification gate (Options.Verify) re-checking the result with
+// the independent verifier before it is reported as success.
 //
 // Typical use:
 //
@@ -21,6 +23,7 @@ import (
 	"rdlroute/internal/global"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/rgraph"
+	"rdlroute/internal/verify"
 	"rdlroute/internal/viaplan"
 )
 
@@ -39,6 +42,15 @@ type Options struct {
 	// pipeline stage. Nil selects the no-op recorder. A stage whose own
 	// options carry a non-nil recorder keeps it.
 	Rec obs.Recorder
+	// Verify selects the verification gate: off (zero value) skips the
+	// independent verifier, warn attaches its report to the Output, strict
+	// additionally fails the run with a *VerifyError when the verifier
+	// finds problems.
+	Verify VerifyMode
+	// VerifyWorkers sizes the worker pool of the DRC stage and the
+	// verification gate. Zero selects GOMAXPROCS capped at 8; 1 forces the
+	// serial reference path.
+	VerifyWorkers int
 }
 
 // Metrics summarizes one routing run in the form the paper's tables report.
@@ -64,7 +76,10 @@ type Metrics struct {
 	DiagonalReductions int
 	FitFailures        int
 	DRCViolations      int
-	GraphStats         rgraph.Stats
+	// VerifyFindings is the verification gate's finding count; zero when
+	// the gate is off (see VerifyMode).
+	VerifyFindings int
+	GraphStats     rgraph.Stats
 }
 
 // Output carries the full results of a routing run.
@@ -75,6 +90,9 @@ type Output struct {
 	GlobalResult *global.Result
 	DetailResult *detail.Result
 	Violations   []detail.Violation
+	// VerifyReport is the verification gate's report; nil when the gate is
+	// off (Options.Verify == VerifyOff).
+	VerifyReport *verify.Report
 	Metrics      Metrics
 }
 
@@ -134,11 +152,17 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	}
 
 	span = obs.StartSpan(rec, "drc")
-	violations := detail.CheckDRCWithDesign(dres.Routes, d)
+	violations := detail.CheckDRCParallel(dres.Routes, d, detail.DRCOptions{
+		Workers: opt.VerifyWorkers, Rec: rec,
+	})
 	span.End()
 	if rec.Enabled() {
 		rec.Count("drc.violations", int64(len(violations)))
 	}
+
+	// Verification gate: the independent verifier re-checks the result,
+	// reusing the violations above so wire rules are not checked twice.
+	report := runGate(d, dres.Routes, violations, opt.Verify, opt.VerifyWorkers, rec)
 
 	out := &Output{
 		Design:       d,
@@ -147,6 +171,7 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 		GlobalResult: gres,
 		DetailResult: dres,
 		Violations:   violations,
+		VerifyReport: report,
 	}
 	m := &out.Metrics
 	m.TotalNets = len(d.Nets)
@@ -165,6 +190,9 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	m.DiagonalReductions = gres.DiagonalReductions
 	m.FitFailures = dres.FitFailures
 	m.DRCViolations = len(violations)
+	if report != nil {
+		m.VerifyFindings = len(report.Problems)
+	}
 	m.GraphStats = g.Stats()
 	if rec.Enabled() {
 		rec.Gauge("routability", m.Routability)
@@ -174,6 +202,9 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	if gerr != nil && !m.TimedOut {
 		// Explicit cancellation: hand back what was routed plus the cause.
 		return out, fmt.Errorf("router: global routing: %w", gerr)
+	}
+	if opt.Verify == VerifyStrict && report != nil && !report.OK() {
+		return out, &VerifyError{Report: report}
 	}
 	return out, nil
 }

@@ -31,6 +31,24 @@ type OptionsSpec struct {
 	// cache identity: a run under a tighter budget may legitimately return a
 	// worse partial result than the same design under a looser one.
 	TimeBudgetMS int64 `json:"time_budget_ms"`
+	// Verify selects the verification gate ("", "warn" or "strict"; the
+	// alias "off" normalizes to "" — see Validate). It is part of the cache
+	// identity: a gated Output carries the verifier's report, an ungated
+	// one does not.
+	Verify VerifyMode `json:"verify"`
+}
+
+// Validate checks the spec's enumerated fields and normalizes aliases (the
+// verify mode "off" becomes the canonical ""), so equal semantics always
+// canonicalize to equal bytes. The serving layer calls it on every decoded
+// request before using the spec as a cache key.
+func (s *OptionsSpec) Validate() error {
+	mode, err := ParseVerifyMode(string(s.Verify))
+	if err != nil {
+		return err
+	}
+	s.Verify = mode
+	return nil
 }
 
 // ViaSpec mirrors viaplan.Options (minus the recorder).
@@ -98,6 +116,7 @@ func (o Options) Spec() OptionsSpec {
 			SkipAdjust:  o.Detail.SkipAdjust,
 		},
 		TimeBudgetMS: o.TimeBudget.Milliseconds(),
+		Verify:       o.Verify,
 	}
 }
 
@@ -131,6 +150,7 @@ func (s OptionsSpec) Options() Options {
 			SkipAdjust:  s.Detail.SkipAdjust,
 		},
 		TimeBudget: time.Duration(s.TimeBudgetMS) * time.Millisecond,
+		Verify:     s.Verify,
 	}
 }
 

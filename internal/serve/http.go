@@ -11,6 +11,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
 	"rdlroute/internal/router"
+	"rdlroute/internal/verify"
 )
 
 // maxBodyBytes bounds a submission body; a dense RDL design JSON is a few
@@ -57,6 +58,11 @@ type submitRequest struct {
 	Design   json.RawMessage    `json:"design"`
 	Options  router.OptionsSpec `json:"options"`
 	Priority string             `json:"priority"`
+	// Verify is the verification gate mode ("off", "warn" or "strict"), a
+	// top-level shorthand for options.verify; when set it wins over the
+	// options field. Strict jobs whose results fail verification finish in
+	// state "failed" with the findings in the result JSON.
+	Verify string `json:"verify"`
 }
 
 // submitResponse answers POST /v1/jobs.
@@ -88,6 +94,14 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	if req.Verify != "" {
+		mode, err := router.ParseVerifyMode(req.Verify)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Options.Verify = mode
 	}
 
 	j, err := e.Submit(Request{Design: d, Spec: req.Options, Priority: prio})
@@ -137,8 +151,44 @@ type resultResponse struct {
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 	// Violations is the DRC violation count.
 	Violations int `json:"violations"`
+	// Verify is the verification gate's report; absent when the job ran
+	// with the gate off.
+	Verify *verifyResult `json:"verify,omitempty"`
 	// Routes is the routed geometry, included with ?include=routes.
 	Routes []*detail.Route `json:"routes,omitempty"`
+}
+
+// verifyResult is the verification section of a job result (doc/VERIFY.md
+// documents the finding shape).
+type verifyResult struct {
+	OK          bool             `json:"ok"`
+	CheckedNets int              `json:"checked_nets"`
+	Counts      map[string]int   `json:"counts,omitempty"`
+	Findings    []verify.Finding `json:"findings,omitempty"`
+	// Truncated is set when the findings list was capped (the counts still
+	// cover everything).
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// maxFindingsJSON caps the findings list in a result response so one
+// pathological job cannot emit an unbounded payload.
+const maxFindingsJSON = 500
+
+func newVerifyResult(rep *verify.Report) *verifyResult {
+	if rep == nil {
+		return nil
+	}
+	v := &verifyResult{
+		OK:          rep.OK(),
+		CheckedNets: rep.CheckedNets,
+		Counts:      rep.Counts(),
+		Findings:    rep.Findings(),
+	}
+	if len(v.Findings) > maxFindingsJSON {
+		v.Findings = v.Findings[:maxFindingsJSON]
+		v.Truncated = true
+	}
+	return v
 }
 
 func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -159,6 +209,7 @@ func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
 	resp := resultResponse{JobStatus: st, StageSeconds: j.StageSeconds()}
 	if out != nil {
 		resp.Violations = len(out.Violations)
+		resp.Verify = newVerifyResult(out.VerifyReport)
 		if r.URL.Query().Get("include") == "routes" && out.DetailResult != nil {
 			resp.Routes = out.DetailResult.Routes
 		}

@@ -11,9 +11,20 @@ type queue struct {
 	notEmpty *sync.Cond
 	capacity int
 	closed   bool
-	// lanes[p] is the FIFO of queued jobs at Priority p.
+	// lanes[p] holds the queued jobs at Priority p; the live window is
+	// lanes[p][heads[p]:]. Popping advances the head instead of reslicing
+	// so the backing array's spare front capacity is reclaimed by the
+	// periodic compaction below — a plain lane[1:] reslice would pin every
+	// job slot ever queued for as long as the lane stays non-empty.
 	lanes [High + 1][]*Job
+	heads [High + 1]int
 }
+
+// laneCompactAt is the popped-slot count past which a lane is compacted
+// (once the dead prefix also outweighs the live tail). Compaction is a
+// copy of the live window to the array's front, so the amortized cost per
+// pop stays O(1) while the backing array stays O(live + laneCompactAt).
+const laneCompactAt = 32
 
 func newQueue(capacity int) *queue {
 	q := &queue{capacity: capacity}
@@ -44,12 +55,30 @@ func (q *queue) pop() (j *Job, ok bool) {
 	defer q.mu.Unlock()
 	for {
 		for p := High; p >= Low; p-- {
-			if lane := q.lanes[p]; len(lane) > 0 {
-				j = lane[0]
-				lane[0] = nil // let the job be collected once finished
-				q.lanes[p] = lane[1:]
-				return j, true
+			lane, head := q.lanes[p], q.heads[p]
+			if head >= len(lane) {
+				continue
 			}
+			j = lane[head]
+			lane[head] = nil // release the slot so the job is collectable
+			head++
+			switch {
+			case head == len(lane):
+				// Lane drained: rewind to reuse the backing array from the
+				// front.
+				q.lanes[p], q.heads[p] = lane[:0], 0
+			case head >= laneCompactAt && head*2 >= len(lane):
+				// The dead prefix outweighs the live tail: slide the live
+				// jobs down and drop the stale capacity beyond them.
+				n := copy(lane, lane[head:])
+				for i := n; i < len(lane); i++ {
+					lane[i] = nil
+				}
+				q.lanes[p], q.heads[p] = lane[:n], 0
+			default:
+				q.heads[p] = head
+			}
+			return j, true
 		}
 		if q.closed {
 			return nil, false
@@ -76,8 +105,8 @@ func (q *queue) len() int {
 
 func (q *queue) lenLocked() int {
 	n := 0
-	for _, lane := range q.lanes {
-		n += len(lane)
+	for p, lane := range q.lanes {
+		n += len(lane) - q.heads[p]
 	}
 	return n
 }

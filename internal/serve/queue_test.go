@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueuePoppedJobsCollectable drives a long-lived lane — one that never
+// drains, so the rewind-on-empty path never fires — and asserts that popped
+// jobs become garbage-collectable (slots are released) and that periodic
+// compaction keeps the backing array bounded. Before the head-index fix,
+// pop resliced lane[1:], which pinned every job slot ever queued for the
+// lane's whole lifetime.
+func TestQueuePoppedJobsCollectable(t *testing.T) {
+	const cycles = 5000
+	q := newQueue(cycles + 2)
+	var finalized atomic.Int64
+
+	// Seed the lane so it always holds one job: pop(i) returns the job
+	// pushed in the previous cycle, never the one just pushed.
+	if err := q.push(&Job{priority: Normal}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cycles; i++ {
+		j := &Job{priority: Normal}
+		runtime.SetFinalizer(j, func(*Job) { finalized.Add(1) })
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := q.pop(); !ok {
+			t.Fatal("pop failed on non-empty queue")
+		}
+	}
+	if n := q.len(); n != 1 {
+		t.Fatalf("queue length = %d, want 1", n)
+	}
+
+	// All but the last popped job (which may still be referenced by the
+	// loop frame) and the one still queued must be collectable.
+	deadline := time.Now().Add(5 * time.Second)
+	for finalized.Load() < cycles-2 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := finalized.Load(); n < cycles-2 {
+		t.Errorf("only %d of %d popped jobs were finalized; queue pins released jobs", n, cycles)
+	}
+
+	q.mu.Lock()
+	c := cap(q.lanes[Normal])
+	q.mu.Unlock()
+	if c > 16*laneCompactAt {
+		t.Errorf("lane backing array grew to cap %d over %d cycles; compaction not bounding memory", c, cycles)
+	}
+}
+
+// TestQueueFIFOAcrossCompaction checks that compaction and head rewinding
+// never reorder a lane: jobs come out in push order per priority, high
+// priority first.
+func TestQueueFIFOAcrossCompaction(t *testing.T) {
+	const n = 500
+	q := newQueue(2 * n)
+	for i := 0; i < n; i++ {
+		if err := q.push(&Job{id: fmt.Sprintf("lo-%03d", i), priority: Normal}); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.push(&Job{id: fmt.Sprintf("hi-%03d", i), priority: High}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		j, ok := q.pop()
+		if !ok || j.id != fmt.Sprintf("hi-%03d", i) {
+			t.Fatalf("pop %d = %v, want hi-%03d", i, j.id, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		j, ok := q.pop()
+		if !ok || j.id != fmt.Sprintf("lo-%03d", i) {
+			t.Fatalf("pop %d = %v, want lo-%03d", i, j.id, i)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty: %d", q.len())
+	}
+}

@@ -115,16 +115,19 @@ type Request struct {
 
 // Counter and gauge names the engine exports through obs and /metricsz.
 const (
-	CtrSubmitted  = "serve.jobs.submitted"
-	CtrCompleted  = "serve.jobs.completed"
-	CtrFailed     = "serve.jobs.failed"
-	CtrCancelled  = "serve.jobs.cancelled"
-	CtrRejected   = "serve.jobs.rejected"
-	CtrCacheHit   = "serve.cache.hits"
-	CtrCacheMiss  = "serve.cache.misses"
-	CtrCacheEvict = "serve.cache.evictions"
-	GaugeQueue    = "serve.queue.depth"
-	GaugeRunning  = "serve.jobs.running"
+	CtrSubmitted = "serve.jobs.submitted"
+	CtrCompleted = "serve.jobs.completed"
+	CtrFailed    = "serve.jobs.failed"
+	// CtrVerifyFailed counts jobs that routed but failed the strict
+	// verification gate (a subset of CtrFailed).
+	CtrVerifyFailed = "serve.jobs.verify_failed"
+	CtrCancelled    = "serve.jobs.cancelled"
+	CtrRejected     = "serve.jobs.rejected"
+	CtrCacheHit     = "serve.cache.hits"
+	CtrCacheMiss    = "serve.cache.misses"
+	CtrCacheEvict   = "serve.cache.evictions"
+	GaugeQueue      = "serve.queue.depth"
+	GaugeRunning    = "serve.jobs.running"
 )
 
 // Engine is the concurrent routing job engine. Create with New, stop with
@@ -179,6 +182,11 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 		return nil, errors.New("serve: nil design")
 	}
 	if err := req.Design.Validate(); err != nil {
+		return nil, err
+	}
+	// Normalizes enum aliases (verify "off" → "") so equivalent requests
+	// share a cache key, and rejects unknown modes before queueing.
+	if err := req.Spec.Validate(); err != nil {
 		return nil, err
 	}
 	key, err := Key(req.Design, req.Spec)
@@ -324,6 +332,9 @@ func (e *Engine) runJob(j *Job) {
 	default:
 		j.finish(out, err, StateFailed)
 		e.rec.Count(CtrFailed, 1)
+		if errors.Is(err, router.ErrVerifyFailed) {
+			e.rec.Count(CtrVerifyFailed, 1)
+		}
 	}
 }
 

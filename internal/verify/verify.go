@@ -12,14 +12,24 @@
 //     centre);
 //   - via-to-wire spacing between different nets (w_v/2 + w_s + w/2);
 //   - vias land strictly inside the package outline.
+//
+// Check fans the work out over a worker pool — per-net connectivity units,
+// via-pair stripes, and the parallel DRC — and merges the findings into a
+// canonical order, so any pool size produces byte-identical reports. Verify
+// is the serial single-worker wrapper.
 package verify
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 )
 
 // Problem is one verification finding.
@@ -49,6 +59,11 @@ const (
 	// RuleViolation wraps a DRC violation from internal/detail.
 	RuleViolation
 )
+
+// Kinds lists every finding kind, in report order.
+var Kinds = []ProblemKind{
+	BrokenConnectivity, ViaViaSpacing, ViaWireSpacing, ViaPlacement, RuleViolation,
+}
 
 // String returns a short name for the finding kind.
 func (k ProblemKind) String() string {
@@ -87,17 +102,165 @@ func (r *Report) Count(kind ProblemKind) int {
 	return n
 }
 
-// Verify re-checks the routed result against the design.
-func Verify(d *design.Design, routes []*detail.Route) *Report {
-	rep := &Report{}
-	add := func(p Problem) { rep.Problems = append(rep.Problems, p) }
+// Counts returns the findings-by-kind totals keyed by kind name. Kinds with
+// no findings are omitted.
+func (r *Report) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, p := range r.Problems {
+		out[p.Kind.String()]++
+	}
+	return out
+}
 
-	// Connectivity and via placement.
-	for ni, rt := range routes {
+// Finding is the JSON wire shape of one problem, served by rdlserved job
+// results and documented in doc/VERIFY.md.
+type Finding struct {
+	Kind string `json:"kind"`
+	Net  int    `json:"net"`
+	// Other is the second net of a spacing finding, -1 otherwise.
+	Other int     `json:"other"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Msg   string  `json:"msg"`
+}
+
+// Findings returns the report's problems in wire form, in report order.
+func (r *Report) Findings() []Finding {
+	out := make([]Finding, len(r.Problems))
+	for i, p := range r.Problems {
+		out[i] = Finding{
+			Kind: p.Kind.String(), Net: p.Net, Other: p.Other,
+			X: p.Where.X, Y: p.Where.Y, Msg: p.Msg,
+		}
+	}
+	return out
+}
+
+// Options tunes Check.
+type Options struct {
+	// Workers is the worker-pool size. Zero or negative selects GOMAXPROCS
+	// capped at 8; 1 runs the units serially (the reference path the
+	// differential tests compare against).
+	Workers int
+	// Rec receives the verifier's stage span and findings-by-kind counters.
+	// Nil selects the no-op recorder.
+	Rec obs.Recorder
+	// DRC supplies precomputed wire-rule violations (from the pipeline's
+	// own DRC pass) to wrap instead of re-running the checker. Only
+	// consulted when HaveDRC is set — a nil slice with HaveDRC means "known
+	// clean".
+	DRC     []detail.Violation
+	HaveDRC bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// Verify re-checks the routed result against the design on a single worker.
+func Verify(d *design.Design, routes []*detail.Route) *Report {
+	return Check(d, routes, Options{Workers: 1})
+}
+
+// verifyChunk is the number of routes or vias per work unit; fixed so the
+// unit list does not depend on the pool size.
+const verifyChunk = 64
+
+// Check re-checks the routed result against the design, fanning the
+// independent checks out over a worker pool. The report is byte-identical
+// for every pool size: findings are merged into a canonical sorted order.
+func Check(d *design.Design, routes []*detail.Route, opt Options) *Report {
+	rec := obs.Or(opt.Rec)
+	workers := opt.workers()
+	span := obs.StartSpan(rec, "verify")
+	defer span.End()
+
+	rep := &Report{}
+	for _, rt := range routes {
+		if rt != nil {
+			rep.CheckedNets++
+		}
+	}
+
+	// Via index, in route order (deterministic).
+	var vias []viaRef
+	for _, rt := range routes {
 		if rt == nil {
 			continue
 		}
-		rep.CheckedNets++
+		for _, v := range rt.Vias {
+			vias = append(vias, viaRef{net: rt.Net, upper: v.UpperLayer, pos: v.Pos})
+		}
+	}
+	// Per-layer wire view shared read-only by the via-wire units.
+	layerLines := make(map[int][]detail.RouteOnLayer)
+	for _, v := range vias {
+		for _, layer := range []int{v.upper, v.upper + 1} {
+			if _, ok := layerLines[layer]; !ok {
+				layerLines[layer] = detail.SegmentsOnLayer(routes, layer)
+			}
+		}
+	}
+
+	var units []func() []Problem
+	for lo := 0; lo < len(routes); lo += verifyChunk {
+		lo, hi := lo, minInt(lo+verifyChunk, len(routes))
+		units = append(units, func() []Problem {
+			return connectivityUnit(d, routes, lo, hi)
+		})
+	}
+	for lo := 0; lo < len(vias); lo += verifyChunk {
+		lo, hi := lo, minInt(lo+verifyChunk, len(vias))
+		units = append(units, func() []Problem {
+			return viaViaUnit(d, vias, lo, hi)
+		})
+		units = append(units, func() []Problem {
+			return viaWireUnit(d, vias, lo, hi, layerLines)
+		})
+	}
+	rep.Problems = runUnits(units, workers)
+
+	// Wire rules via the group- and width-aware DRC, reusing the caller's
+	// violations when supplied.
+	drc := opt.DRC
+	if !opt.HaveDRC {
+		drc = detail.CheckDRCParallel(routes, d, detail.DRCOptions{
+			Workers: workers, Rec: opt.Rec,
+		})
+	}
+	for _, violation := range drc {
+		rep.Problems = append(rep.Problems, Problem{
+			Kind: RuleViolation, Net: violation.NetA, Other: violation.NetB,
+			Where: violation.Where, Msg: violation.String(),
+		})
+	}
+
+	sortProblems(rep.Problems)
+	if rec.Enabled() {
+		for kind, n := range rep.Counts() {
+			rec.Count("verify.findings."+kind, int64(n))
+		}
+	}
+	return rep
+}
+
+// connectivityUnit checks route continuity, via stitching, layer validity
+// and via placement for routes[lo:hi].
+func connectivityUnit(d *design.Design, routes []*detail.Route, lo, hi int) []Problem {
+	var out []Problem
+	add := func(p Problem) { out = append(out, p) }
+	for ni := lo; ni < hi; ni++ {
+		rt := routes[ni]
+		if rt == nil {
+			continue
+		}
 		if rt.Net != ni {
 			add(Problem{Kind: BrokenConnectivity, Net: ni, Other: -1,
 				Msg: fmt.Sprintf("route slot %d carries net %d", ni, rt.Net)})
@@ -153,27 +316,23 @@ func Verify(d *design.Design, routes []*detail.Route) *Report {
 			}
 		}
 	}
+	return out
+}
 
-	// Via-via spacing across different nets. A via spans two wire layers;
-	// vias of different nets conflict when they overlap in any layer —
-	// conservatively, when they are close at all (the via lattice makes
-	// real proximity rare).
-	type viaRef struct {
-		net   int
-		upper int
-		pos   geom.Point
-	}
-	var vias []viaRef
-	for _, rt := range routes {
-		if rt == nil {
-			continue
-		}
-		for _, v := range rt.Vias {
-			vias = append(vias, viaRef{net: rt.Net, upper: v.UpperLayer, pos: v.Pos})
-		}
-	}
+// viaRef is one via flattened out of its route for the pairwise checks.
+type viaRef struct {
+	net   int
+	upper int
+	pos   geom.Point
+}
+
+// viaViaUnit checks vias[lo:hi] against every later via. A via spans two
+// wire layers; vias of different nets conflict when they share the upper
+// layer and sit closer than w_v + w_s.
+func viaViaUnit(d *design.Design, vias []viaRef, lo, hi int) []Problem {
+	var out []Problem
 	viaClear := d.Rules.ViaWidth + d.Rules.MinSpacing
-	for i := 0; i < len(vias); i++ {
+	for i := lo; i < hi; i++ {
 		for j := i + 1; j < len(vias); j++ {
 			if d.SameGroup(vias[i].net, vias[j].net) {
 				continue
@@ -182,7 +341,7 @@ func Verify(d *design.Design, routes []*detail.Route) *Report {
 				continue // different via layers never touch
 			}
 			if dd := vias[i].pos.Dist(vias[j].pos); dd < viaClear-1e-9 {
-				rep.Problems = append(rep.Problems, Problem{
+				out = append(out, Problem{
 					Kind: ViaViaSpacing, Net: vias[i].net, Other: vias[j].net,
 					Where: vias[i].pos,
 					Msg:   fmt.Sprintf("vias %.2f µm apart, need %.2f", dd, viaClear),
@@ -190,19 +349,24 @@ func Verify(d *design.Design, routes []*detail.Route) *Report {
 			}
 		}
 	}
+	return out
+}
 
-	// Via-wire spacing: every via against every other net's wires on the
-	// two layers the via touches.
-	for _, v := range vias {
+// viaWireUnit checks vias[lo:hi] against every other net's wires on the two
+// layers each via touches.
+func viaWireUnit(d *design.Design, vias []viaRef, lo, hi int,
+	layerLines map[int][]detail.RouteOnLayer) []Problem {
+	var out []Problem
+	for _, v := range vias[lo:hi] {
 		for _, layer := range []int{v.upper, v.upper + 1} {
-			for _, rl := range detail.SegmentsOnLayer(routes, layer) {
+			for _, rl := range layerLines[layer] {
 				if d.SameGroup(rl.Net, v.net) {
 					continue
 				}
 				limit := d.Rules.ViaWidth/2 + d.Rules.MinSpacing + d.WidthOf(rl.Net)/2
 				dd, _ := rl.Pl.DistToPoint(v.pos)
 				if dd < limit-1e-9 {
-					rep.Problems = append(rep.Problems, Problem{
+					out = append(out, Problem{
 						Kind: ViaWireSpacing, Net: v.net, Other: rl.Net, Where: v.pos,
 						Msg: fmt.Sprintf("wire %.2f µm from via, need %.2f", dd, limit),
 					})
@@ -210,13 +374,72 @@ func Verify(d *design.Design, routes []*detail.Route) *Report {
 			}
 		}
 	}
+	return out
+}
 
-	// Wire rules via the group- and width-aware DRC.
-	for _, violation := range detail.CheckDRCWithDesign(routes, d) {
-		rep.Problems = append(rep.Problems, Problem{
-			Kind: RuleViolation, Net: violation.NetA, Other: violation.NetB,
-			Where: violation.Where, Msg: violation.String(),
-		})
+// runUnits executes the units on a pool of the given size and concatenates
+// their outputs in unit order.
+func runUnits(units []func() []Problem, workers int) []Problem {
+	results := make([][]Problem, len(units))
+	if workers <= 1 || len(units) <= 1 {
+		for i, u := range units {
+			results[i] = u()
+		}
+	} else {
+		if workers > len(units) {
+			workers = len(units)
+		}
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1)
+					if i >= int64(len(units)) {
+						return
+					}
+					results[i] = units[i]()
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	return rep
+	var out []Problem
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// sortProblems puts findings into the report's canonical order: by kind,
+// then nets, then position, then message — a total order over everything a
+// problem carries, independent of unit boundaries and worker scheduling.
+func sortProblems(ps []Problem) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		switch {
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Net != b.Net:
+			return a.Net < b.Net
+		case a.Other != b.Other:
+			return a.Other < b.Other
+		case a.Where.X != b.Where.X:
+			return a.Where.X < b.Where.X
+		case a.Where.Y != b.Where.Y:
+			return a.Where.Y < b.Where.Y
+		default:
+			return a.Msg < b.Msg
+		}
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

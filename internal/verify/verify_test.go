@@ -1,4 +1,7 @@
-package verify
+// External test package: these tests route real designs through the full
+// pipeline, and the router now imports verify for its sign-off gate, so an
+// in-package test would be an import cycle.
+package verify_test
 
 import (
 	"context"
@@ -8,6 +11,7 @@ import (
 	"rdlroute/internal/detail"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/router"
+	"rdlroute/internal/verify"
 )
 
 func routedDense1(t *testing.T) (*design.Design, []*detail.Route) {
@@ -25,13 +29,13 @@ func routedDense1(t *testing.T) (*design.Design, []*detail.Route) {
 
 func TestVerifyRealResult(t *testing.T) {
 	d, routes := routedDense1(t)
-	rep := Verify(d, routes)
+	rep := verify.Verify(d, routes)
 	if rep.CheckedNets != len(d.Nets) {
 		t.Errorf("checked %d nets, want %d", rep.CheckedNets, len(d.Nets))
 	}
 	// Structural classes must be clean on a real result; wire-rule
 	// residuals (RuleViolation) are the known legalization residue.
-	for _, kind := range []ProblemKind{BrokenConnectivity, ViaViaSpacing, ViaPlacement} {
+	for _, kind := range []verify.ProblemKind{verify.BrokenConnectivity, verify.ViaViaSpacing, verify.ViaPlacement} {
 		if n := rep.Count(kind); n != 0 {
 			for _, p := range rep.Problems {
 				if p.Kind == kind {
@@ -43,11 +47,11 @@ func TestVerifyRealResult(t *testing.T) {
 	}
 	// Via-wire spacing should be essentially clean too (corner discs in
 	// fit routing enforce it); tolerate a tiny residue like the wire DRC.
-	if n := rep.Count(ViaWireSpacing); n > 5 {
+	if n := rep.Count(verify.ViaWireSpacing); n > 5 {
 		t.Errorf("via-wire findings = %d", n)
 	}
 	t.Logf("verification: %d findings total (%d rule residuals, %d via-wire)",
-		len(rep.Problems), rep.Count(RuleViolation), rep.Count(ViaWireSpacing))
+		len(rep.Problems), rep.Count(verify.RuleViolation), rep.Count(verify.ViaWireSpacing))
 }
 
 func TestVerifyDetectsPlantedProblems(t *testing.T) {
@@ -57,8 +61,8 @@ func TestVerifyDetectsPlantedProblems(t *testing.T) {
 	broken := routes[0]
 	savedPl := broken.Segs[0].Pl
 	broken.Segs[0].Pl = append(geom.Polyline{geom.Pt(0, 0)}, savedPl[1:]...)
-	rep := Verify(d, routes)
-	if rep.Count(BrokenConnectivity) == 0 {
+	rep := verify.Verify(d, routes)
+	if rep.Count(verify.BrokenConnectivity) == 0 {
 		t.Error("broken endpoint not detected")
 	}
 	broken.Segs[0].Pl = savedPl
@@ -86,8 +90,8 @@ func TestVerifyDetectsPlantedProblems(t *testing.T) {
 	nb.Vias[0].UpperLayer = na.Vias[0].UpperLayer
 	nb.Segs[0].Pl[len(nb.Segs[0].Pl)-1] = na.Vias[0].Pos
 	nb.Segs[1].Pl[0] = na.Vias[0].Pos
-	rep = Verify(d, routes)
-	if rep.Count(ViaViaSpacing) == 0 {
+	rep = verify.Verify(d, routes)
+	if rep.Count(verify.ViaViaSpacing) == 0 {
 		t.Error("via collision not detected")
 	}
 	nb.Vias[0] = savedVia
@@ -102,8 +106,8 @@ func TestVerifyDetectsPlantedProblems(t *testing.T) {
 	na.Vias[0].Pos = out
 	na.Segs[0].Pl[len(na.Segs[0].Pl)-1] = out
 	na.Segs[1].Pl[0] = out
-	rep = Verify(d, routes)
-	if rep.Count(ViaPlacement) == 0 {
+	rep = verify.Verify(d, routes)
+	if rep.Count(verify.ViaPlacement) == 0 {
 		t.Error("outside via not detected")
 	}
 	na.Vias[0] = savedVia
@@ -149,9 +153,9 @@ func TestVerifyViaWirePlanted(t *testing.T) {
 		mid := len(other.Segs[si].Pl) / 2
 		saved := other.Segs[si].Pl[mid]
 		other.Segs[si].Pl[mid] = target.Pos.Add(geom.Pt(1, 0))
-		rep := Verify(d, routes)
+		rep := verify.Verify(d, routes)
 		other.Segs[si].Pl[mid] = saved
-		if rep.Count(ViaWireSpacing) == 0 {
+		if rep.Count(verify.ViaWireSpacing) == 0 {
 			t.Error("via-wire encroachment not detected")
 		}
 		return
@@ -159,7 +163,7 @@ func TestVerifyViaWirePlanted(t *testing.T) {
 }
 
 func TestProblemKindStrings(t *testing.T) {
-	kinds := []ProblemKind{BrokenConnectivity, ViaViaSpacing, ViaWireSpacing, ViaPlacement, RuleViolation}
+	kinds := []verify.ProblemKind{verify.BrokenConnectivity, verify.ViaViaSpacing, verify.ViaWireSpacing, verify.ViaPlacement, verify.RuleViolation}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -171,12 +175,12 @@ func TestProblemKindStrings(t *testing.T) {
 }
 
 func TestReportHelpers(t *testing.T) {
-	r := &Report{}
+	r := &verify.Report{}
 	if !r.OK() {
 		t.Error("empty report should be OK")
 	}
-	r.Problems = append(r.Problems, Problem{Kind: ViaViaSpacing})
-	if r.OK() || r.Count(ViaViaSpacing) != 1 || r.Count(ViaPlacement) != 0 {
+	r.Problems = append(r.Problems, verify.Problem{Kind: verify.ViaViaSpacing})
+	if r.OK() || r.Count(verify.ViaViaSpacing) != 1 || r.Count(verify.ViaPlacement) != 0 {
 		t.Error("report helpers wrong")
 	}
 }
