@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race-gate bench bench-serve bench-drc fmt
+.PHONY: all tier1 tier2 race-gate bench bench-serve bench-drc bench-route fmt
 
 all: tier1
 
@@ -16,10 +16,11 @@ tier2:
 	$(GO) test -race ./...
 
 # Focused race gate over the concurrency-bearing packages: the parallel
-# DRC/verify engines and the serving layer. Faster than a full tier2 run.
+# DRC/verify engines, tile routing, the global router's ordering pool and
+# the serving layer. Faster than a full tier2 run.
 race-gate:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/detail/ ./internal/verify/ ./internal/serve/
+	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -36,6 +37,13 @@ bench-serve:
 bench-drc:
 	BENCH_DRC_OUT=$(CURDIR)/BENCH_drc.json \
 		$(GO) test -run '^$$' -bench BenchmarkDRC -benchmem ./internal/detail/
+
+# Routing hot path: global A*/rip-up and detailed routing per dense case.
+# Writes ns/op, allocs/op and B/op to BENCH_route.json — the allocation
+# counts are the zero-allocation A* regression gate.
+bench-route:
+	BENCH_ROUTE_OUT=$(CURDIR)/BENCH_route.json \
+		$(GO) test -run '^$$' -bench 'BenchmarkGlobalRoute|BenchmarkDetailRoute' -benchmem .
 
 fmt:
 	gofmt -l -w .

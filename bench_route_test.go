@@ -1,0 +1,155 @@
+// Routing hot-path benchmarks: the global-routing stage (crossing-aware A*
+// with rip-up rounds) and the detailed-routing stage (DP adjustment + tile
+// fit routing), isolated per dense benchmark. `make bench-route` runs them
+// and writes BENCH_route.json with ns/op, B/op, allocs/op and the host CPU
+// count, so the allocation trajectory of the hot path is tracked next to the
+// wall-clock one (on a 1-CPU host the allocation columns are the signal).
+package rdlroute_test
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"rdlroute/internal/benchjson"
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// routeBenchResults accumulates the last run of every route sub-benchmark;
+// TestMain writes them as BENCH_route.json when BENCH_ROUTE_OUT is set.
+var routeBenchResults = struct {
+	mu sync.Mutex
+	m  map[string]benchjson.Entry
+}{m: make(map[string]benchjson.Entry)}
+
+func recordRouteBench(e benchjson.Entry) {
+	routeBenchResults.mu.Lock()
+	routeBenchResults.m[e["name"].(string)] = e
+	routeBenchResults.mu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_ROUTE_OUT"); path != "" && code == 0 {
+		routeBenchResults.mu.Lock()
+		out := make([]benchjson.Entry, 0, len(routeBenchResults.m))
+		for _, e := range routeBenchResults.m {
+			out = append(out, e)
+		}
+		routeBenchResults.mu.Unlock()
+		if err := benchjson.MergeWrite(path, out); err != nil {
+			println("bench json:", err.Error())
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// builtCase caches the design, via plan and routing graph per dense case so
+// the global and detail benchmarks share one build.
+var builtCase = func() func(tb testing.TB, name string) *rgraph.Graph {
+	var mu sync.Mutex
+	cache := map[string]*rgraph.Graph{}
+	return func(tb testing.TB, name string) *rgraph.Graph {
+		tb.Helper()
+		mu.Lock()
+		defer mu.Unlock()
+		if g, ok := cache[name]; ok {
+			return g
+		}
+		d, err := design.GenerateDense(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		plan, err := viaplan.Build(d, viaplan.Options{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		g, err := rgraph.Build(d, plan, rgraph.Options{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cache[name] = g
+		return g
+	}
+}()
+
+// measureLoop runs fn b.N times between mem-stat snapshots and records the
+// per-op numbers under name. The explicit ReadMemStats pair mirrors what
+// -benchmem reports, but makes the numbers available for BENCH_route.json.
+func measureLoop(b *testing.B, name, stage, cse string, fn func()) {
+	b.Helper()
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	n := float64(b.N)
+	recordRouteBench(benchjson.Entry{
+		"name":          name,
+		"stage":         stage,
+		"case":          cse,
+		"ns_per_op":     float64(b.Elapsed().Nanoseconds()) / n,
+		"allocs_per_op": float64(after.Mallocs-before.Mallocs) / n,
+		"bytes_per_op":  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		"n":             b.N,
+		"cpus":          runtime.NumCPU(),
+	})
+}
+
+// BenchmarkGlobalRoute measures the global-routing stage alone: the graph is
+// prebuilt, each iteration runs a fresh router over it (RUDY ordering,
+// crossing-aware A*, rip-up rounds, diagonal refinement).
+func BenchmarkGlobalRoute(b *testing.B) {
+	for _, name := range design.DenseNames() {
+		b.Run(name, func(b *testing.B) {
+			g := builtCase(b, name)
+			measureLoop(b, "global/"+name, "global", name, func() {
+				r := global.New(g, global.Options{})
+				res, err := r.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Routability() == 0 {
+					b.Fatal("routed nothing")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDetailRoute measures the detailed-routing stage alone: global
+// routing runs once outside the timer, each iteration redoes chain building,
+// DP access-point adjustment and tile fit routing over the same guides.
+func BenchmarkDetailRoute(b *testing.B) {
+	for _, name := range design.DenseNames() {
+		b.Run(name, func(b *testing.B) {
+			g := builtCase(b, name)
+			r := global.New(g, global.Options{})
+			gres, err := r.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			measureLoop(b, "detail/"+name, "detail", name, func() {
+				dres, err := detail.Run(context.Background(), r, gres, detail.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dres.Wirelength <= 0 {
+					b.Fatal("no wirelength")
+				}
+			})
+		})
+	}
+}

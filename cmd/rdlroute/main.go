@@ -8,6 +8,7 @@
 //	rdlroute [-router ours|cai|aarf] [-budget 30s] [-svg out.svg -layer 0]
 //	         [-routes out.json] [-stats] [-verify off|warn|strict]
 //	         [-trace out.jsonl] [-progress]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //	         [-strict] (-design file.json | -case dense1)
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels routing; the partial
@@ -28,6 +29,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -78,9 +81,43 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		tracePath  = fs.String("trace", "", "write a JSON-lines event trace (spans, counters, progress) to this file")
 		progress   = fs.Bool("progress", false, "print live per-stage progress to stderr")
 		strict     = fs.Bool("strict", false, "fail with exit code 3 on timeout, 4 on unrouted nets")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
 	}
 	vmode, err := router.ParseVerifyMode(*verifyFlag)
 	if err != nil {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rdlserved [-addr :8080] [-workers 4] [-queue 64] [-cache 128]
-//	          [-budget 30s] [-drain 30s] [-trace trace.jsonl]
+//	          [-budget 30s] [-drain 30s] [-trace trace.jsonl] [-pprof]
 //
 // API (see doc/SERVICE.md for the full reference):
 //
@@ -32,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		budget    = fs.Duration("budget", 30*time.Second, "default per-job time budget for requests without one")
 		drain     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		tracePath = fs.String("trace", "", "write a JSON-lines event trace of every job to this file")
+		pprofFlag = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (diagnosis on trusted networks only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +99,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "rdlserved: listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: serve.NewHandler(eng)}
+	// The profiling endpoints mount on the explicit mux, not the package
+	// default one, so nothing is exposed unless -pprof is set.
+	var handler http.Handler = serve.NewHandler(eng)
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

@@ -1,0 +1,100 @@
+// Package benchjson writes the machine-readable BENCH_*.json files the
+// bench targets produce. Entries are JSON objects carrying a "name" key;
+// Write sorts them by name before marshalling so repeated runs produce
+// byte-stable files that diff cleanly (map iteration order never leaks into
+// the output).
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Entry is one benchmark record: a flat JSON object. The "name" key is
+// required and must be a string; it is the sort key and the merge identity.
+type Entry = map[string]any
+
+// nameOf extracts the mandatory name key.
+func nameOf(e Entry) (string, error) {
+	v, ok := e["name"]
+	if !ok {
+		return "", fmt.Errorf("benchjson: entry missing \"name\": %v", e)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("benchjson: entry \"name\" is %T, want string", v)
+	}
+	return s, nil
+}
+
+// Write marshals the entries sorted by name (single-space indent, trailing
+// newline) to path. Nothing is written when entries is empty.
+func Write(path string, entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	type named struct {
+		name  string
+		entry Entry
+	}
+	keyed := make([]named, len(entries))
+	for i, e := range entries {
+		n, err := nameOf(e)
+		if err != nil {
+			return err
+		}
+		keyed[i] = named{name: n, entry: e}
+	}
+	sort.SliceStable(keyed, func(i, j int) bool { return keyed[i].name < keyed[j].name })
+	sorted := make([]Entry, len(keyed))
+	for i, k := range keyed {
+		sorted[i] = k.entry
+	}
+	b, err := json.MarshalIndent(sorted, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// MergeWrite reads an existing file at path (ignored when absent or
+// unparsable), replaces entries whose name matches a new entry, keeps the
+// rest, and writes the union sorted by name. It lets several test binaries
+// contribute to one bench file without clobbering each other's sections.
+func MergeWrite(path string, entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	merged := make(map[string]Entry)
+	var order []string
+	if b, err := os.ReadFile(path); err == nil {
+		var old []Entry
+		if json.Unmarshal(b, &old) == nil {
+			for _, e := range old {
+				if n, err := nameOf(e); err == nil {
+					if _, ok := merged[n]; !ok {
+						order = append(order, n)
+					}
+					merged[n] = e
+				}
+			}
+		}
+	}
+	for _, e := range entries {
+		n, err := nameOf(e)
+		if err != nil {
+			return err
+		}
+		if _, ok := merged[n]; !ok {
+			order = append(order, n)
+		}
+		merged[n] = e
+	}
+	out := make([]Entry, 0, len(order))
+	for _, n := range order {
+		out = append(out, merged[n])
+	}
+	return Write(path, out)
+}

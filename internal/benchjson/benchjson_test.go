@@ -1,0 +1,123 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readNames(t *testing.T, path string) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e["name"].(string)
+	}
+	return names
+}
+
+func TestWriteSortsByName(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := Write(path, []Entry{
+		{"name": "zeta", "v": 1.0},
+		{"name": "alpha", "v": 2.0},
+		{"name": "mid", "v": 3.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readNames(t, path)
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWriteIsByteStable(t *testing.T) {
+	dir := t.TempDir()
+	entries := []Entry{
+		{"name": "b", "x": 1.5}, {"name": "a", "x": 2.5}, {"name": "c", "x": 0.5},
+	}
+	p1 := filepath.Join(dir, "one.json")
+	p2 := filepath.Join(dir, "two.json")
+	// Different input order must produce identical bytes.
+	if err := Write(p1, entries); err != nil {
+		t.Fatal(err)
+	}
+	rev := []Entry{entries[2], entries[0], entries[1]}
+	if err := Write(p2, rev); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Fatalf("output depends on input order:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func TestWriteRejectsMissingName(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, []Entry{{"v": 1.0}}); err == nil {
+		t.Fatal("want error for entry without name")
+	}
+	if err := Write(path, []Entry{{"name": 42}}); err == nil {
+		t.Fatal("want error for non-string name")
+	}
+}
+
+func TestMergeWriteReplacesAndKeeps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, []Entry{
+		{"name": "keep", "v": 1.0},
+		{"name": "replace", "v": 2.0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeWrite(path, []Entry{
+		{"name": "replace", "v": 9.0},
+		{"name": "new", "v": 3.0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, e := range entries {
+		got[e["name"].(string)] = e["v"].(float64)
+	}
+	if got["keep"] != 1.0 || got["replace"] != 9.0 || got["new"] != 3.0 {
+		t.Fatalf("merged entries = %v", got)
+	}
+	names := readNames(t, path)
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestWriteEmptyIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("empty write must not create the file")
+	}
+}

@@ -1,12 +1,12 @@
 package detail
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"sort"
 
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pq"
 	"rdlroute/internal/rgraph"
 )
 
@@ -23,29 +23,9 @@ import (
 
 // partialNet is a maximal run of movable access points of one net.
 type partialNet struct {
-	net        int
-	startElem  int // first elem index of the run within the chain
-	length     int // number of access points in the run
-	heapIdx    int
-	generation int // bumped when ranges change; stale entries are skipped
-}
-
-type pnHeap []*partialNet
-
-func (h pnHeap) Len() int           { return len(h) }
-func (h pnHeap) Less(i, j int) bool { return h[i].length > h[j].length }
-func (h pnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
-func (h *pnHeap) Push(x interface{}) {
-	pn := x.(*partialNet)
-	pn.heapIdx = len(*h)
-	*h = append(*h, pn)
-}
-func (h *pnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	net       int
+	startElem int // first elem index of the run within the chain
+	length    int // number of access points in the run
 }
 
 // AdjustAccessPoints runs the full adjustment pass and returns the number of
@@ -54,8 +34,10 @@ func (h *pnHeap) Pop() interface{} {
 func (d *Detailer) AdjustAccessPoints(ctx context.Context) int {
 	d.refreshAllRanges()
 
-	// Build partial nets: maximal runs of movable APs per chain.
-	var h pnHeap
+	// Build partial nets: maximal runs of movable APs per chain. The typed
+	// max-heap (longest run first) stores the runs by value — no boxing, no
+	// per-run pointer.
+	h := pq.New(func(a, b partialNet) bool { return a.length > b.length })
 	for net, ch := range d.Chains {
 		if ch == nil {
 			continue
@@ -70,7 +52,7 @@ func (d *Detailer) AdjustAccessPoints(ctx context.Context) int {
 			for j < len(ch.Elems) && ch.Elems[j].Kind == ElemAP && !d.APs[ch.Elems[j].AP].Fixed {
 				j++
 			}
-			heap.Push(&h, &partialNet{net: net, startElem: i, length: j - i})
+			h.Push(partialNet{net: net, startElem: i, length: j - i})
 			d.dpHeapOps++
 			i = j
 		}
@@ -81,7 +63,7 @@ func (d *Detailer) AdjustAccessPoints(ctx context.Context) int {
 		if obs.Stopped(ctx) {
 			break
 		}
-		pn := heap.Pop(&h).(*partialNet)
+		pn := h.Pop()
 		d.dpHeapOps++
 		if d.runDP(pn) {
 			processed++
@@ -232,7 +214,7 @@ func (d *Detailer) incidenceFactor(id rgraph.NodeID, net int) float64 {
 
 // runDP optimizes one partial net with the dynamic program and updates the
 // neighbours' ranges afterwards. It reports whether any point moved.
-func (d *Detailer) runDP(pn *partialNet) bool {
+func (d *Detailer) runDP(pn partialNet) bool {
 	ch := d.Chains[pn.net]
 	if ch == nil {
 		return false

@@ -93,7 +93,7 @@ type Detailer struct {
 	rec obs.Recorder
 	// Counters flushed to rec at the end of Run.
 	dpHeapOps   int64 // partial-net heap pushes + pops
-	fitTangents int64 // successful tangent constructions (Fig. 12)
+	fitTangents int64 // successful tangent constructions (Fig. 12); atomic, tiles route concurrently
 	fitRetries  int64 // whole-pass retries with enlarged clearance
 }
 

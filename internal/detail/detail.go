@@ -3,6 +3,7 @@ package detail
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"rdlroute/internal/geom"
@@ -29,9 +30,26 @@ type Options struct {
 	// SkipAdjust disables the DP access-point adjustment (ablation): access
 	// points stay at their even initial distribution.
 	SkipAdjust bool
+	// Workers is the worker-pool size for tile routing and route assembly.
+	// Zero or negative selects GOMAXPROCS capped at 8; 1 runs the units
+	// serially (the reference path the differential tests compare against).
+	// Tiles are independent work units merged in canonical key order, so
+	// every pool size produces byte-identical geometry.
+	Workers int
 	// Rec receives stage spans and counters. Nil selects the no-op
 	// recorder.
 	Rec obs.Recorder
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
 }
 
 func (o Options) withDefaults(pitch float64) Options {
@@ -150,15 +168,33 @@ func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options)
 	for _, f := range failures {
 		out.failedNets = append(out.failedNets, f.net)
 	}
-	for net, ch := range d.Chains {
-		if ch == nil {
-			continue
-		}
-		route, err := d.assemble(net, ch, hops)
+	// Assembly fans out over fixed net chunks; each unit writes its own
+	// disjoint out.Routes slots, so the merged result is independent of the
+	// pool size, and the first error in chunk order matches the error the
+	// serial loop would have hit first.
+	const assembleChunk = 32
+	var units []func() error
+	for lo := 0; lo < len(d.Chains); lo += assembleChunk {
+		lo, hi := lo, minInt(lo+assembleChunk, len(d.Chains))
+		units = append(units, func() error {
+			for net := lo; net < hi; net++ {
+				ch := d.Chains[net]
+				if ch == nil {
+					continue
+				}
+				route, err := d.assemble(net, ch, hops)
+				if err != nil {
+					return err
+				}
+				out.Routes[net] = route
+			}
+			return nil
+		})
+	}
+	for _, err := range runPool(units, d.Opt.workers()) {
 		if err != nil {
 			return nil, err
 		}
-		out.Routes[net] = route
 	}
 	out.Wirelength = PolishRoutes(out.Routes, r.G.Design)
 	if d.rec.Enabled() {

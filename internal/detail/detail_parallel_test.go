@@ -1,0 +1,127 @@
+package detail
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/global"
+	"rdlroute/internal/rgraph"
+	"rdlroute/internal/viaplan"
+)
+
+// fingerprintRoutes renders every route — segments, polyline coordinates and
+// vias — into one string, so two results compare byte-for-byte rather than
+// merely approximately.
+func fingerprintRoutes(routes []*Route) string {
+	var b strings.Builder
+	for net, rt := range routes {
+		if rt == nil {
+			fmt.Fprintf(&b, "%d:nil\n", net)
+			continue
+		}
+		fmt.Fprintf(&b, "%d:%v\n", net, *rt)
+	}
+	return b.String()
+}
+
+// compareDetailWorkers routes a design once globally, then runs detailed
+// routing at pool sizes 1, 2, 4 and 8 and demands byte-identical geometry
+// and identical summary statistics across all of them.
+func compareDetailWorkers(t *testing.T, d *design.Design) {
+	t.Helper()
+	plan, err := viaplan.Build(d, viaplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := rgraph.Build(d, plan, rgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := global.New(g, global.Options{})
+	gres, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := Run(context.Background(), r, gres, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fingerprintRoutes(serial.Routes)
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Run(context.Background(), r, gres, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial.Routes, par.Routes) {
+			t.Fatalf("workers=%d: routes differ from serial", workers)
+		}
+		if got := fingerprintRoutes(par.Routes); got != ref {
+			t.Fatalf("workers=%d: geometry not byte-identical to serial", workers)
+		}
+		if par.Wirelength != serial.Wirelength {
+			t.Fatalf("workers=%d: wirelength %v, serial %v", workers, par.Wirelength, serial.Wirelength)
+		}
+		if par.FitFailures != serial.FitFailures {
+			t.Fatalf("workers=%d: fit failures %d, serial %d", workers, par.FitFailures, serial.FitFailures)
+		}
+		if par.AdjustedPartialNets != serial.AdjustedPartialNets {
+			t.Fatalf("workers=%d: adjusted partial nets %d, serial %d",
+				workers, par.AdjustedPartialNets, serial.AdjustedPartialNets)
+		}
+	}
+	// Detailed routing must leave the global router's books untouched.
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetailParallelMatchesSerial is the tentpole's differential guarantee
+// for tile routing: on every dense benchmark, any pool size produces the
+// same bytes as the serial reference.
+func TestDetailParallelMatchesSerial(t *testing.T) {
+	cases := design.DenseNames()
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, name := range cases {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			d, err := design.GenerateDense(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareDetailWorkers(t, d)
+		})
+	}
+}
+
+// TestDetailParallelRandomDesigns repeats the differential check on
+// randomized designs, so the guarantee doesn't silently depend on the dense
+// benchmarks' regular structure.
+func TestDetailParallelRandomDesigns(t *testing.T) {
+	specs := []design.RandomSpec{
+		{Seed: 1},
+		{Seed: 7, Chips: 4, NetsPerChannel: 16},
+		{Seed: 42, Chips: 2, NetsPerChannel: 20, WireLayers: 3},
+	}
+	if testing.Short() {
+		specs = specs[:1]
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("seed%d", spec.Seed), func(t *testing.T) {
+			t.Parallel()
+			d, err := design.GenerateRandom(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareDetailWorkers(t, d)
+		})
+	}
+}

@@ -3,8 +3,6 @@ package detail
 import (
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
@@ -200,35 +198,8 @@ func obstacleUnit(routes []*Route, lo, hi int, d *design.Design) []Violation {
 // runUnits executes the units on a pool of the given size and concatenates
 // their outputs in unit order.
 func runUnits(units []func() []Violation, workers int) []Violation {
-	results := make([][]Violation, len(units))
-	if workers <= 1 || len(units) <= 1 {
-		for i, u := range units {
-			results[i] = u()
-		}
-	} else {
-		if workers > len(units) {
-			workers = len(units)
-		}
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := next.Add(1)
-					if i >= int64(len(units)) {
-						return
-					}
-					results[i] = units[i]()
-				}
-			}()
-		}
-		wg.Wait()
-	}
 	var out []Violation
-	for _, r := range results {
+	for _, r := range runPool(units, workers) {
 		out = append(out, r...)
 	}
 	return out

@@ -1,0 +1,42 @@
+package detail
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runPool executes the units on a pool of the given size and returns their
+// results indexed by unit. Unit boundaries are fixed by the caller and every
+// result lands at its own unit's index, so any pool size — including the
+// serial workers<=1 path — produces identical output; only the scheduling
+// varies. Shared by the DRC engine, tile routing and route assembly.
+func runPool[T any](units []func() T, workers int) []T {
+	results := make([]T, len(units))
+	if workers <= 1 || len(units) <= 1 {
+		for i, u := range units {
+			results[i] = u()
+		}
+		return results
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(len(units)) {
+					return
+				}
+				results[i] = units[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

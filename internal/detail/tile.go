@@ -3,6 +3,7 @@ package detail
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 
 	"rdlroute/internal/dt"
 	"rdlroute/internal/geom"
@@ -94,13 +95,26 @@ func (d *Detailer) routeTiles(ctx context.Context, scale float64) (map[hopKey]ge
 		}
 		return keys[a].tri < keys[b].tri
 	})
-	for _, k := range keys {
-		if obs.Stopped(ctx) {
-			break
-		}
+	// One unit per tile: routeOneTile touches only its own job, and the
+	// shared Detailer state it reads — chains, access points, graph, rules —
+	// is frozen during tile routing, so tiles fan out freely across the
+	// pool. The merge below walks the keys in their canonical order, making
+	// the hop map contents and the failure list independent of the pool
+	// size; a cancelled context skips un-started tiles, whose passages keep
+	// empty routes exactly like the serial path.
+	units := make([]func() struct{}, len(keys))
+	for i, k := range keys {
 		job := jobs[k]
-		d.routeOneTile(job, scale)
-		for _, p := range job.passages {
+		units[i] = func() struct{} {
+			if !obs.Stopped(ctx) {
+				d.routeOneTile(job, scale)
+			}
+			return struct{}{}
+		}
+	}
+	runPool(units, d.Opt.workers())
+	for _, k := range keys {
+		for _, p := range jobs[k].passages {
 			out[hopKey{p.net, p.chainIdx}] = p.route
 			if p.failed {
 				failures = append(failures, p)
@@ -400,7 +414,7 @@ func (d *Detailer) resolveViolation(route *geom.Polyline, si int, c geom.Circle,
 		return false
 	}
 	*route = append((*route)[:si+1], append(geom.Polyline{i}, (*route)[si+1:]...)...)
-	d.fitTangents++
+	atomic.AddInt64(&d.fitTangents, 1) // tiles route concurrently
 	return true
 }
 

@@ -1,11 +1,12 @@
 package global
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
 	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/pq"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -15,7 +16,9 @@ import (
 var ErrUnroutable = errors.New("global: net unroutable")
 
 // searchResult is an uncommitted guide: the node path, links, and the
-// sequence insertion gap chosen at every edge node.
+// sequence insertion gap chosen at every edge node. The gaps slice aliases
+// router scratch and is only valid until the next route call; nodes and
+// links are freshly allocated because commit keeps them in the Guide.
 type searchResult struct {
 	net   int
 	nodes []rgraph.NodeID
@@ -37,30 +40,117 @@ type stateKey struct {
 type searchState struct {
 	key    stateKey
 	g, f   float64
-	parent int // arena index of predecessor, -1 for start
-	link   int // link traversed to arrive, -1 for start
+	parent int32 // arena index of predecessor, -1 for start
+	link   int32 // link traversed to arrive, -1 for start
 }
 
-// stateHeap is a min-heap over arena indices ordered by f.
-type stateHeap struct {
-	arena *[]searchState
-	idx   []int
+// heapItem is one open-list entry: the f value is stored inline so the heap
+// comparator never chases the arena, and the index is a plain int32 so
+// pushes and pops do not box through interface{} the way container/heap
+// does.
+type heapItem struct {
+	f   float64
+	idx int32
 }
 
-func (h stateHeap) Len() int { return len(h.idx) }
-func (h stateHeap) Less(i, j int) bool {
-	a := &(*h.arena)[h.idx[i]]
-	b := &(*h.arena)[h.idx[j]]
-	return a.f < b.f
+// searchScratch owns every buffer the crossing-aware A* needs, so repeated
+// route calls — the rip-up rounds and diagonal-refinement reroutes are many
+// thousands of searches on dense designs — allocate nothing beyond the
+// result path itself.
+//
+// The best-cost scoreboard is dense: every reachable state key maps to a
+// fixed slot (via nodes get two slots, one per viaArrive flavour; edge nodes
+// get Cap+1 slots, one per insertion gap, because a sequence of length m
+// needs gaps 0..m and m never exceeds the node capacity). A generation
+// counter stamps slot validity so clearing the scoreboard between searches
+// is one integer increment, not an O(slots) wipe.
+type searchScratch struct {
+	slotBase []int32 // per node: first scoreboard slot
+	bestG    []float64
+	bestGen  []uint32
+	gen      uint32
+
+	arena []searchState
+	open  *pq.Heap[heapItem]
+
+	// seen and seenGen implement reconstruct's node-revisit check without a
+	// per-call map.
+	seen    []uint32
+	seenGen uint32
+
+	// gapsBuf backs searchResult.gaps; commit consumes the gaps before the
+	// next search overwrites them.
+	gapsBuf []int
+
+	// dstPos is the heuristic target of the search in flight.
+	dstPos geom.Point
 }
-func (h stateHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *stateHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-func (h *stateHeap) Pop() interface{} {
-	old := h.idx
-	n := len(old)
-	x := old[n-1]
-	h.idx = old[:n-1]
-	return x
+
+// newSearchScratch sizes the scoreboard for a graph.
+func newSearchScratch(g *rgraph.Graph) *searchScratch {
+	s := &searchScratch{
+		slotBase: make([]int32, len(g.Nodes)+1),
+		seen:     make([]uint32, len(g.Nodes)),
+		open:     pq.New(func(a, b heapItem) bool { return a.f < b.f }),
+	}
+	var slots int32
+	for id := range g.Nodes {
+		s.slotBase[id] = slots
+		if g.Nodes[id].Kind == rgraph.EdgeNode {
+			// Gap 0..Cap: each committed sequence entry consumes at least
+			// one capacity unit, so len(seq) ≤ Cap and every insertion gap
+			// fits.
+			slots += int32(g.Nodes[id].Cap) + 1
+		} else {
+			slots += 2 // viaArrive false / true
+		}
+	}
+	s.slotBase[len(g.Nodes)] = slots
+	s.bestG = make([]float64, slots)
+	s.bestGen = make([]uint32, slots)
+	return s
+}
+
+// slot maps a state key to its scoreboard slot.
+func (s *searchScratch) slot(key stateKey) int32 {
+	base := s.slotBase[key.node]
+	if key.gap >= 0 {
+		return base + int32(key.gap)
+	}
+	if key.viaArrive {
+		return base + 1
+	}
+	return base
+}
+
+// begin readies the scratch for one search.
+func (s *searchScratch) begin(dstPos geom.Point) {
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped: invalidate explicitly
+		for i := range s.bestGen {
+			s.bestGen[i] = 0
+		}
+		s.gen = 1
+	}
+	s.arena = s.arena[:0]
+	s.open.Reset()
+	s.dstPos = dstPos
+}
+
+// push relaxes a state: admits it when it improves on the scoreboard and
+// appends it to the arena and open list.
+func (r *Router) push(key stateKey, g float64, parent, link int32) {
+	s := r.scr
+	slot := s.slot(key)
+	if s.bestGen[slot] == s.gen && s.bestG[slot] <= g {
+		return
+	}
+	s.bestGen[slot] = s.gen
+	s.bestG[slot] = g
+	f := g + r.G.Node(key.node).Pos.Dist(s.dstPos)
+	s.arena = append(s.arena, searchState{key: key, g: g, f: f, parent: parent, link: link})
+	s.open.Push(heapItem{f: f, idx: int32(len(s.arena) - 1)})
+	r.heapPushes++
 }
 
 // route runs crossing-aware A* for one net and returns an uncommitted guide.
@@ -69,35 +159,21 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	dstPos := r.G.Node(dst).Pos
+	s := r.scr
+	s.begin(r.G.Node(dst).Pos)
+	r.beginBlockRecording()
 
-	arena := make([]searchState, 0, 1024)
-	open := &stateHeap{arena: &arena}
-	best := make(map[stateKey]float64)
-
-	push := func(key stateKey, g float64, parent, link int) {
-		if prev, ok := best[key]; ok && prev <= g {
-			return
-		}
-		best[key] = g
-		h := r.G.Node(key.node).Pos.Dist(dstPos)
-		arena = append(arena, searchState{key: key, g: g, f: g + h, parent: parent, link: link})
-		heap.Push(open, len(arena)-1)
-		r.heapPushes++
-	}
-
-	start := stateKey{node: src, gap: -1}
-	push(start, 0, -1, -1)
+	r.push(stateKey{node: src, gap: -1}, 0, -1, -1)
 
 	expanded := 0
-	for open.Len() > 0 {
-		si := heap.Pop(open).(int)
-		st := arena[si]
-		if st.g > best[st.key] {
+	for s.open.Len() > 0 {
+		si := s.open.Pop().idx
+		st := s.arena[si]
+		if st.g > s.bestG[s.slot(st.key)] {
 			continue // stale heap entry
 		}
 		if st.key.node == dst {
-			res, ok := r.reconstruct(net.ID, arena, si)
+			res, ok := r.reconstruct(net.ID, si)
 			if ok {
 				return res, nil
 			}
@@ -111,11 +187,12 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 
 		node := r.G.Node(st.key.node)
 		if node.Kind == rgraph.ViaNode {
-			r.expandVia(st, si, net.ID, push)
+			r.expandVia(st, si, net.ID)
 		} else {
-			r.expandEdge(st, si, net.ID, dst, push)
+			r.expandEdge(st, si, net.ID, dst)
 		}
 	}
+	r.noteSearchFailed()
 	return nil, fmt.Errorf("net %d (%s): %w", net.ID, net.Name, ErrUnroutable)
 }
 
@@ -123,8 +200,7 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 // link must be left through its cross-via link (the wire descends or
 // ascends); a via entered through a cross-via link must be left through an
 // access-via link. The start pin may use anything available.
-func (r *Router) expandVia(st searchState, si, net int,
-	push func(stateKey, float64, int, int)) {
+func (r *Router) expandVia(st searchState, si int32, net int) {
 	arrivedCross := st.key.viaArrive
 	isStart := st.link == -1
 	for _, adj := range r.G.Adj[st.key.node] {
@@ -135,31 +211,34 @@ func (r *Router) expandVia(st searchState, si, net int,
 				continue // no double layer hop through one via pair
 			}
 			if r.linkUse[adj.Link] >= link.Cap {
+				r.blockLink(adj.Link)
 				continue
 			}
 			if r.nodeUse[adj.To] >= r.nodeCap(adj.To) {
+				r.blockNode(adj.To)
 				continue
 			}
-			push(stateKey{node: adj.To, gap: -1, viaArrive: true}, st.g+link.Len, si, adj.Link)
+			r.push(stateKey{node: adj.To, gap: -1, viaArrive: true}, st.g+link.Len, si, int32(adj.Link))
 		case rgraph.AccessVia:
 			if !isStart && !arrivedCross {
 				continue // entered by wire; must take the via down/up
 			}
 			if r.linkUse[adj.Link] >= link.Cap {
+				r.blockLink(adj.Link)
 				continue
 			}
-			r.pushChordToEdge(st, si, net, adj, link, push)
+			r.pushChordToEdge(st, si, net, adj, link)
 		}
 	}
 }
 
 // expandEdge expands an edge-node state through its cross-tile and
 // access-via links, enumerating crossing-free insertion gaps.
-func (r *Router) expandEdge(st searchState, si, net int, dst rgraph.NodeID,
-	push func(stateKey, float64, int, int)) {
+func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID) {
 	for _, adj := range r.G.Adj[st.key.node] {
 		link := r.G.Link(adj.Link)
 		if r.linkUse[adj.Link] >= link.Cap {
+			r.blockLink(adj.Link)
 			continue
 		}
 		tile := r.G.TileOf(link.Layer, link.Tile)
@@ -172,6 +251,7 @@ func (r *Router) expandEdge(st searchState, si, net int, dst rgraph.NodeID,
 		case rgraph.AccessVia:
 			// adj.To is the via node (link.A is always the via end).
 			if r.nodeUse[adj.To] >= r.nodeCap(adj.To) {
+				r.blockNode(adj.To)
 				continue
 			}
 			// Foreign pins are never intermediate hops.
@@ -184,15 +264,18 @@ func (r *Router) expandEdge(st searchState, si, net int, dst rgraph.NodeID,
 				continue
 			}
 			if !r.chordAllowed(net, tile, from, vertexEnd(vOrd)) {
+				r.blockTile(tileKey{link.Layer, link.Tile})
 				continue
 			}
-			push(stateKey{node: adj.To, gap: -1, viaArrive: false}, st.g+link.Len, si, adj.Link)
+			r.push(stateKey{node: adj.To, gap: -1, viaArrive: false}, st.g+link.Len, si, int32(adj.Link))
 		case rgraph.CrossTile:
 			units := r.edgeUnits(net)
 			if r.nodeUse[adj.To]+units > r.nodeCap(adj.To) {
+				r.blockNode(adj.To)
 				continue
 			}
 			if r.linkUse[adj.Link]+units > link.Cap {
+				r.blockLink(adj.Link)
 				continue
 			}
 			toOrd := edgeOrdinal(tile, adj.To)
@@ -204,9 +287,10 @@ func (r *Router) expandEdge(st searchState, si, net int, dst rgraph.NodeID,
 			q1 := r.coord(tile, from)
 			for g2 := 0; g2 <= m; g2++ {
 				if !chordAllowedCoords(q1, r.coord(tile, gapEnd(toOrd, g2)), r.pcBuf) {
+					r.blockTile(tileKey{link.Layer, link.Tile})
 					continue
 				}
-				push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, adj.Link)
+				r.push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, int32(adj.Link))
 			}
 		}
 	}
@@ -214,9 +298,10 @@ func (r *Router) expandEdge(st searchState, si, net int, dst rgraph.NodeID,
 
 // pushChordToEdge pushes states entering an edge node from a via node,
 // trying every crossing-free insertion gap.
-func (r *Router) pushChordToEdge(st searchState, si, net int,
-	adj rgraph.Adjacent, link *rgraph.Link, push func(stateKey, float64, int, int)) {
+func (r *Router) pushChordToEdge(st searchState, si int32, net int,
+	adj rgraph.Adjacent, link *rgraph.Link) {
 	if r.nodeUse[adj.To]+r.edgeUnits(net) > r.nodeCap(adj.To) {
+		r.blockNode(adj.To)
 		return
 	}
 	tile := r.G.TileOf(link.Layer, link.Tile)
@@ -230,40 +315,51 @@ func (r *Router) pushChordToEdge(st searchState, si, net int,
 	q1 := r.coord(tile, vertexEnd(vOrd))
 	for g2 := 0; g2 <= m; g2++ {
 		if !chordAllowedCoords(q1, r.coord(tile, gapEnd(eOrd, g2)), r.pcBuf) {
+			r.blockTile(tileKey{link.Layer, link.Tile})
 			continue
 		}
-		push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, adj.Link)
+		r.push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, int32(adj.Link))
 	}
 }
 
 // reconstruct walks the arena parents back to the start. It reports false
 // when the path visits any node twice (a self-intersecting guide, which the
-// commit machinery does not support).
-func (r *Router) reconstruct(net int, arena []searchState, goal int) (*searchResult, bool) {
-	var nodes []rgraph.NodeID
-	var links []int
-	var gaps []int
+// commit machinery does not support). The revisit check reuses the scratch
+// seen stamps instead of allocating a map per call.
+func (r *Router) reconstruct(net int, goal int32) (*searchResult, bool) {
+	s := r.scr
+	arena := s.arena
+	n := 0
 	for i := goal; i != -1; i = arena[i].parent {
-		nodes = append(nodes, arena[i].key.node)
-		gaps = append(gaps, int(arena[i].key.gap))
-		if arena[i].link != -1 {
-			links = append(links, arena[i].link)
+		n++
+	}
+	nodes := make([]rgraph.NodeID, n)
+	links := make([]int, n-1)
+	if cap(s.gapsBuf) < n {
+		s.gapsBuf = make([]int, n)
+	}
+	gaps := s.gapsBuf[:n]
+
+	s.seenGen++
+	if s.seenGen == 0 {
+		for i := range s.seen {
+			s.seen[i] = 0
 		}
+		s.seenGen = 1
 	}
-	// Reverse in place.
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-		gaps[i], gaps[j] = gaps[j], gaps[i]
-	}
-	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
-		links[i], links[j] = links[j], links[i]
-	}
-	seen := make(map[rgraph.NodeID]bool, len(nodes))
-	for _, n := range nodes {
-		if seen[n] {
+	k := n - 1
+	for i := goal; i != -1; i = arena[i].parent {
+		st := &arena[i]
+		if s.seen[st.key.node] == s.seenGen {
 			return nil, false
 		}
-		seen[n] = true
+		s.seen[st.key.node] = s.seenGen
+		nodes[k] = st.key.node
+		gaps[k] = int(st.key.gap)
+		if st.link != -1 {
+			links[k-1] = int(st.link)
+		}
+		k--
 	}
 	// Note: a path may revisit a tile and topologically cross its own
 	// earlier chord there. That is deliberately allowed: the minimum-spacing

@@ -173,11 +173,11 @@ func chordAllowedCoords(q1, q2 float64, pcs []chordCoords) bool {
 // different net (same-group passages are the same net and may cross
 // freely).
 func (r *Router) chordAllowed(net int, tile *rgraph.Tile, from, to boundaryEnd) bool {
-	pcs := r.passageCoords(net, tile, nil)
-	if len(pcs) == 0 {
+	r.pcBuf = r.passageCoords(net, tile, r.pcBuf)
+	if len(r.pcBuf) == 0 {
 		return true
 	}
-	return chordAllowedCoords(r.coord(tile, from), r.coord(tile, to), pcs)
+	return chordAllowedCoords(r.coord(tile, from), r.coord(tile, to), r.pcBuf)
 }
 
 // vertexOrdinal returns the ordinal (0..2) of the mesh vertex v within the

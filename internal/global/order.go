@@ -1,7 +1,6 @@
 package global
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"runtime"
@@ -11,6 +10,7 @@ import (
 
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pq"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -48,12 +48,16 @@ func (r *Router) initialOrder(ctx context.Context) []int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local scratch: the seed searches run concurrently, so
+			// they cannot share the router's serial scratch, but one scratch
+			// per worker amortizes across all the nets the worker claims.
+			scr := newPlainScratch(r.G)
 			for {
 				ni := int(atomic.AddInt32(&next, 1)) - 1
 				if ni >= n || obs.Stopped(ctx) {
 					return
 				}
-				paths[ni] = r.routePlain(ni)
+				paths[ni] = r.routePlain(ni, scr)
 			}
 		}()
 	}
@@ -138,29 +142,53 @@ type plainItem struct {
 	link   int
 }
 
-type plainHeap struct {
-	arena *[]plainItem
-	idx   []int
+// plainScratch holds the reusable buffers of one standalone-route worker:
+// a dense best-cost scoreboard over the 2·|nodes| plain states (generation
+// counter instead of per-search clearing), the item arena, and a typed open
+// list. One scratch serves every net a worker claims.
+type plainScratch struct {
+	bestG   []float64
+	bestGen []uint32
+	gen     uint32
+	arena   []plainItem
+	open    *pq.Heap[heapItem]
 }
 
-func (h plainHeap) Len() int { return len(h.idx) }
-func (h plainHeap) Less(i, j int) bool {
-	return (*h.arena)[h.idx[i]].f < (*h.arena)[h.idx[j]].f
+func newPlainScratch(g *rgraph.Graph) *plainScratch {
+	return &plainScratch{
+		bestG:   make([]float64, 2*len(g.Nodes)),
+		bestGen: make([]uint32, 2*len(g.Nodes)),
+		open:    pq.New(func(a, b heapItem) bool { return a.f < b.f }),
+	}
 }
-func (h plainHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *plainHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
-func (h *plainHeap) Pop() interface{} {
-	old := h.idx
-	x := old[len(old)-1]
-	h.idx = old[:len(old)-1]
-	return x
+
+// plainSlot maps a plain state to its scoreboard slot.
+func plainSlot(st plainState) int {
+	i := int(st.node) * 2
+	if st.viaArrive {
+		i++
+	}
+	return i
+}
+
+// begin starts a fresh search on the reused buffers.
+func (s *plainScratch) begin() {
+	s.gen++
+	if s.gen == 0 { // uint32 wraparound: stale stamps would alias as current
+		for i := range s.bestGen {
+			s.bestGen[i] = 0
+		}
+		s.gen = 1
+	}
+	s.arena = s.arena[:0]
+	s.open.Reset()
 }
 
 // routePlain finds the shortest structural path for one net, ignoring other
 // nets entirely (no usage, no sequences); only structural capacities
 // (cap > 0) gate traversal. Used for RUDY estimation. Returns nil when no
 // path exists at all.
-func (r *Router) routePlain(ni int) *plainPath {
+func (r *Router) routePlain(ni int, s *plainScratch) *plainPath {
 	net := r.G.Design.Nets[ni]
 	src, dst, err := r.G.NetPins(net)
 	if err != nil {
@@ -168,33 +196,33 @@ func (r *Router) routePlain(ni int) *plainPath {
 	}
 	dstPos := r.G.Node(dst).Pos
 
-	arena := make([]plainItem, 0, 512)
-	open := &plainHeap{arena: &arena}
-	best := make(map[plainState]float64)
+	s.begin()
 	push := func(st plainState, g float64, parent, link int) {
-		if prev, ok := best[st]; ok && prev <= g {
+		slot := plainSlot(st)
+		if s.bestGen[slot] == s.gen && s.bestG[slot] <= g {
 			return
 		}
-		best[st] = g
-		arena = append(arena, plainItem{st: st, g: g,
+		s.bestGen[slot] = s.gen
+		s.bestG[slot] = g
+		s.arena = append(s.arena, plainItem{st: st, g: g,
 			f: g + r.G.Node(st.node).Pos.Dist(dstPos), parent: parent, link: link})
-		heap.Push(open, len(arena)-1)
+		s.open.Push(heapItem{f: s.arena[len(s.arena)-1].f, idx: int32(len(s.arena) - 1)})
 	}
 	push(plainState{node: src}, 0, -1, -1)
 
-	for open.Len() > 0 {
-		si := heap.Pop(open).(int)
-		it := arena[si]
-		if it.g > best[it.st] {
+	for s.open.Len() > 0 {
+		si := int(s.open.Pop().idx)
+		it := s.arena[si]
+		if it.g > s.bestG[plainSlot(it.st)] {
 			continue
 		}
 		if it.st.node == dst {
 			var nodes []rgraph.NodeID
 			var links []int
-			for i := si; i != -1; i = arena[i].parent {
-				nodes = append(nodes, arena[i].st.node)
-				if arena[i].link != -1 {
-					links = append(links, arena[i].link)
+			for i := si; i != -1; i = s.arena[i].parent {
+				nodes = append(nodes, s.arena[i].st.node)
+				if s.arena[i].link != -1 {
+					links = append(links, s.arena[i].link)
 				}
 			}
 			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {

@@ -32,6 +32,15 @@ const maxDiagonalRounds = 200
 // rounds, keeping the reductions applied so far.
 func (r *Router) refineDiagonal(ctx context.Context) int {
 	reductions := 0
+	// The clean-edge cache assumes every usage change since an edge was
+	// proven clean went through commit/ripUp stamping. That holds inside
+	// this loop, but not necessarily for whatever ran before the call, so
+	// start from a cold cache: iteration 1 scans everything once and the
+	// remaining iterations — the expensive part on violation-heavy designs —
+	// rescan only what their reroutes touched.
+	for i := range r.diagCheckedAt {
+		r.diagCheckedAt[i] = 0
+	}
 	for round := 0; round < maxDiagonalRounds; round++ {
 		if obs.Stopped(ctx) {
 			return reductions
@@ -78,8 +87,16 @@ func (r *Router) refineDiagonal(ctx context.Context) int {
 
 // findDiagonalViolation scans all interior edge nodes and returns the first
 // violating Eq. 3, or Invalid.
+//
+// The scan is incremental across refinement iterations: the Eq. 3 predicate
+// of an edge depends only on its edge node's usage and its two wrapping
+// cross-tile link usages, all of which are stamped with the change clock on
+// every commit and rip-up. An edge proven clean at clock t stays clean until
+// one of those three stamps moves past t, so each iteration after the first
+// re-evaluates only the edges the previous reroutes actually touched.
 func (r *Router) findDiagonalViolation() rgraph.NodeID {
 	pitch := r.G.Design.Rules.Pitch()
+	now := r.clock
 	for li := range r.G.Layers {
 		lg := &r.G.Layers[li]
 		for _, e := range lg.Mesh.Edges() {
@@ -93,30 +110,53 @@ func (r *Router) findDiagonalViolation() rgraph.NodeID {
 			if !okI || !okJ {
 				continue
 			}
-			u1 := r.cornerUse(li, tris[0], vi)
-			u2 := r.cornerUse(li, tris[1], vj)
+			l1 := r.cornerLink(li, tris[0], vi)
+			l2 := r.cornerLink(li, tris[1], vj)
+			if chk := r.diagCheckedAt[en]; chk > 0 && r.nodeStamp[en] <= chk &&
+				(l1 == -1 || r.linkStamp[l1] <= chk) &&
+				(l2 == -1 || r.linkStamp[l2] <= chk) {
+				continue // unchanged since last proven clean
+			}
+			u1, u2 := 0, 0
+			if l1 != -1 {
+				u1 = r.linkUse[l1]
+			}
+			if l2 != -1 {
+				u2 = r.linkUse[l2]
+			}
 			upsilon := r.nodeUse[en]
 			if upsilon == 0 && u1 == 0 && u2 == 0 {
+				r.diagCheckedAt[en] = now
 				continue
 			}
 			d := lg.Mesh.Points[vi].Dist(lg.Mesh.Points[vj])
 			if float64(u1+u2+upsilon+1)*pitch >= d {
 				return en
 			}
+			r.diagCheckedAt[en] = now
 		}
 	}
 	return rgraph.Invalid
 }
 
-// cornerUse returns the usage of the cross-tile link wrapping mesh vertex v
-// in triangle tri of layer li.
-func (r *Router) cornerUse(li, tri, v int) int {
+// cornerLink returns the cross-tile link wrapping mesh vertex v in triangle
+// tri of layer li, or -1.
+func (r *Router) cornerLink(li, tri, v int) int {
 	tile := r.G.TileOf(li, tri)
 	ord := vertexOrdinal(tile, v)
 	if ord == -1 {
-		return 0
+		return -1
 	}
-	return r.linkUse[tile.CrossLinks[ord]]
+	return tile.CrossLinks[ord]
+}
+
+// cornerUse returns the usage of the cross-tile link wrapping mesh vertex v
+// in triangle tri of layer li.
+func (r *Router) cornerUse(li, tri, v int) int {
+	if l := r.cornerLink(li, tri, v); l != -1 {
+		return r.linkUse[l]
+	}
+	return 0
 }
 
 // DiagonalViolations counts current Eq. 3 violations; exported for tests and

@@ -46,6 +46,18 @@ type Options struct {
 	// baseline uses 2 to emulate the resource waste of treating each routed
 	// net as a hard constraint corridor in a rebuilt triangulation.
 	EdgeUsePerNet int
+	// FullRipUp restores the pre-incremental net-order adjustment: at every
+	// failed round boundary, every committed guide is ripped up and the
+	// whole net list rerouted. The default (false) rips up only the dirty
+	// nets — those whose guides touch nodes or links whose usage or
+	// sequence lists other nets changed after they committed — plus the
+	// failures, which on designs with localized congestion reroutes a small
+	// fraction of the net list per round.
+	FullRipUp bool
+	// AfterRound, when non-nil, runs at the end of every net-order
+	// adjustment round (after the round's rip-ups), with the zero-based
+	// round index. Tests use it to assert CheckInvariants between rounds.
+	AfterRound func(round int)
 	// AfterEachNet, when non-nil, runs after every successfully committed
 	// net with that net's ID. The AARF* baseline re-triangulates every
 	// layer here, paying the per-net mesh-rebuild cost the original
@@ -81,6 +93,12 @@ type Result struct {
 	FailedNets []int
 	// OrderRounds is the number of net-order adjustment rounds used.
 	OrderRounds int
+	// RipUps counts guides ripped up across all rounds (diagonal-refinement
+	// reroutes included).
+	RipUps int
+	// KeptGuides counts committed guides preserved across failed-round
+	// boundaries by incremental rip-up; always zero with FullRipUp.
+	KeptGuides int
 	// DiagonalReductions counts edge-node capacity reductions performed by
 	// diagonal utility refinement.
 	DiagonalReductions int
@@ -124,24 +142,87 @@ type Router struct {
 	expansions int
 	heapPushes int
 	ripUps     int
+	kept       int
 	// pcBuf is a scratch buffer for resolved passage coordinates, reused
 	// across search expansions.
 	pcBuf []chordCoords
+	// scr owns the A* scratch buffers (scoreboard, arena, open list); the
+	// serial search loop reuses them across every route call.
+	scr *searchScratch
+
+	// Change clock: advances on every commit and rip-up; nodeStamp and
+	// linkStamp record the last tick that changed a resource's usage or
+	// sequence list. Diagonal refinement uses them to rescan only the mesh
+	// edges whose inputs changed since they were last proven clean
+	// (diagCheckedAt, indexed by edge node).
+	clock         int64
+	nodeStamp     []int64
+	linkStamp     []int64
+	diagCheckedAt []int64
+
+	// Blocked-resource recording: every search stamps the nodes, links and
+	// tiles where a capacity or crossing check rejected an expansion; when
+	// the search fails, those resources are folded into the round-level
+	// blocked sets. At the next round boundary the failed nets' blockers
+	// seed the dirty computation alongside the disturbed guides — the nets
+	// occupying a blocker committed before the failure, so the stamp test
+	// alone would never select them.
+	searchSerial  int64
+	blkNodeStamp  []int64
+	blkLinkStamp  []int64
+	blkTileStamp  map[tileKey]int64
+	blkNodes      []rgraph.NodeID
+	blkLinks      []int
+	blkTiles      []tileKey
+	roundBlkNodes map[rgraph.NodeID]struct{}
+	roundBlkLinks map[int]struct{}
+	roundBlkTiles map[tileKey]struct{}
 }
 
 // New creates a router over the graph.
 func New(g *rgraph.Graph, opt Options) *Router {
-	return &Router{
-		G:           g,
-		Opt:         opt.withDefaults(),
-		rec:         obs.Or(opt.Rec),
-		nodeUse:     make([]int, len(g.Nodes)),
-		linkUse:     make([]int, len(g.Links)),
-		capOverride: make(map[rgraph.NodeID]int),
-		seqs:        make([][]int, len(g.Nodes)),
-		passages:    make(map[tileKey][]passage),
-		guides:      make([]*Guide, len(g.Design.Nets)),
+	r := &Router{
+		G:             g,
+		Opt:           opt.withDefaults(),
+		rec:           obs.Or(opt.Rec),
+		nodeUse:       make([]int, len(g.Nodes)),
+		linkUse:       make([]int, len(g.Links)),
+		capOverride:   make(map[rgraph.NodeID]int),
+		seqs:          make([][]int, len(g.Nodes)),
+		passages:      make(map[tileKey][]passage),
+		guides:        make([]*Guide, len(g.Design.Nets)),
+		scr:           newSearchScratch(g),
+		nodeStamp:     make([]int64, len(g.Nodes)),
+		linkStamp:     make([]int64, len(g.Links)),
+		diagCheckedAt: make([]int64, len(g.Nodes)),
+
+		blkNodeStamp:  make([]int64, len(g.Nodes)),
+		blkLinkStamp:  make([]int64, len(g.Links)),
+		blkTileStamp:  make(map[tileKey]int64),
+		roundBlkNodes: make(map[rgraph.NodeID]struct{}),
+		roundBlkLinks: make(map[int]struct{}),
+		roundBlkTiles: make(map[tileKey]struct{}),
 	}
+	// Pre-size the sequence lists from edge capacity: a sequence entry
+	// consumes at least one capacity unit, so Cap bounds the list length
+	// and the commit-time insertions below never reallocate. All lists
+	// carve one backing array — full-capacity three-index sub-slices, so
+	// an append can never bleed into a neighbour's region.
+	total := 0
+	for id := range g.Nodes {
+		if n := &g.Nodes[id]; n.Kind == rgraph.EdgeNode && n.Cap > 0 {
+			total += n.Cap
+		}
+	}
+	backing := make([]int, total)
+	off := 0
+	for id := range g.Nodes {
+		if n := &g.Nodes[id]; n.Kind == rgraph.EdgeNode && n.Cap > 0 {
+			r.seqs[id] = backing[off : off : off+n.Cap]
+			off += n.Cap
+		}
+	}
+	return r
 }
 
 // edgeUnits returns the capacity units one guide of the net consumes on an
@@ -204,25 +285,33 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 				r.rec.Progress("global", r.routedCount(), len(nets))
 			}
 		}
-		if stopped || len(lastFailed) == 0 {
-			break
-		}
-		if round == r.Opt.MaxOrderRounds-1 {
-			break // keep partial result; do not rip up on the last round
-		}
-		// Net order adjustment (§III-A3c): rip up everything and move nets
-		// with larger failure counts to the front.
-		for _, g := range r.guides {
-			if g != nil {
-				r.ripUp(g)
+		done := stopped || len(lastFailed) == 0 ||
+			round == r.Opt.MaxOrderRounds-1 // keep partial result; no rip-up on the last round
+		if !done {
+			// Net order adjustment (§III-A3c): rip up and move nets with
+			// larger failure counts to the front. Full mode rips every
+			// guide; incremental mode rips only the dirty ones and keeps
+			// the rest committed, so the next round reroutes a subset.
+			ripped := r.ripUpForNextRound()
+			if ripped == 0 && !r.Opt.FullRipUp {
+				// Nothing changed since the failed searches ran: extra
+				// usage only shrinks the feasible space, so rerouting the
+				// failures against the identical graph state would fail
+				// identically. Stop instead of spinning the rounds out.
+				done = true
+			}
+			if !done {
+				sort.SliceStable(order, func(a, b int) bool {
+					return failCount[order[a]] > failCount[order[b]]
+				})
 			}
 		}
-		for i := range r.guides {
-			r.guides[i] = nil
+		if r.Opt.AfterRound != nil {
+			r.Opt.AfterRound(round)
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return failCount[order[a]] > failCount[order[b]]
-		})
+		if done {
+			break
+		}
 	}
 	astarSpan.End()
 
@@ -240,8 +329,11 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 	}
 	sort.Ints(res.FailedNets)
 	res.Expansions = r.expansions
+	res.RipUps = r.ripUps
+	res.KeptGuides = r.kept
 
 	r.rec.Count("global.astar.expansions", int64(r.expansions))
+	r.rec.Count("global.kept_guides", int64(r.kept))
 	r.rec.Count("global.astar.heap_pushes", int64(r.heapPushes))
 	r.rec.Count("global.ripups", int64(r.ripUps))
 	r.rec.Count("global.order_rounds", int64(res.OrderRounds))
@@ -259,10 +351,14 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 func (r *Router) routedCount() int { return r.routed }
 
 // commit installs a found guide: bumps usage, inserts sequence positions,
-// and records tile passages.
+// and records tile passages. It advances the change clock and stamps every
+// occupied node and link so later rounds can tell which committed guides
+// other nets have since disturbed.
 func (r *Router) commit(g *searchResult) {
 	guide := &Guide{Net: g.net, Nodes: g.nodes, Links: g.links}
+	r.clock++
 	for i, id := range g.nodes {
+		r.nodeStamp[id] = r.clock
 		if r.G.Node(id).Kind == rgraph.EdgeNode {
 			r.nodeUse[id] += r.edgeUnits(g.net)
 			gap := g.gaps[i]
@@ -270,12 +366,18 @@ func (r *Router) commit(g *searchResult) {
 			if gap < 0 || gap > len(seq) {
 				gap = len(seq)
 			}
-			r.seqs[id] = append(seq[:gap:gap], append([]int{g.net}, seq[gap:]...)...)
+			// In-place insertion: the list was pre-sized to the node's
+			// capacity in New, so the append stays within the backing array.
+			seq = append(seq, 0)
+			copy(seq[gap+1:], seq[gap:])
+			seq[gap] = g.net
+			r.seqs[id] = seq
 		} else {
 			r.nodeUse[id]++
 		}
 	}
 	for _, l := range g.links {
+		r.linkStamp[l] = r.clock
 		if r.G.Link(l).Kind == rgraph.CrossTile {
 			r.linkUse[l] += r.edgeUnits(g.net)
 		} else {
@@ -309,9 +411,14 @@ func (r *Router) passageEndFor(tile *rgraph.Tile, id rgraph.NodeID) passageEnd {
 	return passageEnd{vertex: -1, edge: edgeOrdinal(tile, id)}
 }
 
-// ripUp removes a committed guide, releasing all resources.
+// ripUp removes a committed guide, releasing all resources. Like commit it
+// advances the change clock and stamps the released nodes and links: freed
+// capacity is as much a state change as consumed capacity for the guides
+// that share those resources.
 func (r *Router) ripUp(guide *Guide) {
+	r.clock++
 	for _, id := range guide.Nodes {
+		r.nodeStamp[id] = r.clock
 		if r.G.Node(id).Kind == rgraph.EdgeNode {
 			r.nodeUse[id] -= r.edgeUnits(guide.Net)
 			seq := r.seqs[id]
@@ -326,6 +433,7 @@ func (r *Router) ripUp(guide *Guide) {
 		}
 	}
 	for _, l := range guide.Links {
+		r.linkStamp[l] = r.clock
 		link := r.G.Link(l)
 		if link.Kind == rgraph.CrossTile {
 			r.linkUse[l] -= r.edgeUnits(guide.Net)
@@ -347,6 +455,193 @@ func (r *Router) ripUp(guide *Guide) {
 	r.guides[guide.Net] = nil
 	r.routed--
 	r.ripUps++
+}
+
+// blockNode records a node whose capacity rejected an expansion of the
+// search in flight (deduplicated per search by stamp).
+func (r *Router) blockNode(id rgraph.NodeID) {
+	if r.blkNodeStamp[id] != r.searchSerial {
+		r.blkNodeStamp[id] = r.searchSerial
+		r.blkNodes = append(r.blkNodes, id)
+	}
+}
+
+// blockLink records a link whose capacity rejected an expansion.
+func (r *Router) blockLink(id int) {
+	if r.blkLinkStamp[id] != r.searchSerial {
+		r.blkLinkStamp[id] = r.searchSerial
+		r.blkLinks = append(r.blkLinks, id)
+	}
+}
+
+// blockTile records a tile where a crossing check rejected a chord.
+func (r *Router) blockTile(key tileKey) {
+	if r.blkTileStamp[key] != r.searchSerial {
+		r.blkTileStamp[key] = r.searchSerial
+		r.blkTiles = append(r.blkTiles, key)
+	}
+}
+
+// beginBlockRecording resets the per-search blocked lists.
+func (r *Router) beginBlockRecording() {
+	r.searchSerial++
+	r.blkNodes = r.blkNodes[:0]
+	r.blkLinks = r.blkLinks[:0]
+	r.blkTiles = r.blkTiles[:0]
+}
+
+// noteSearchFailed folds the failed search's blocked resources into the
+// round-level sets consumed at the next boundary.
+func (r *Router) noteSearchFailed() {
+	for _, id := range r.blkNodes {
+		r.roundBlkNodes[id] = struct{}{}
+	}
+	for _, l := range r.blkLinks {
+		r.roundBlkLinks[l] = struct{}{}
+	}
+	for _, key := range r.blkTiles {
+		r.roundBlkTiles[key] = struct{}{}
+	}
+}
+
+// dirtyClosure computes the per-net dirty flags for the incremental rip-up:
+// seeds are the guides touching a resource — or co-occupying a tile — that
+// blocked a failed search; the seed set is then closed over resource
+// sharing with a union-find, because rerouting one net of a congestion
+// cluster shifts the feasible space of every net it shares capacity or
+// crossing constraints with.
+//
+// Guides in components no failure touched stay committed, and keeping them
+// is exact rather than approximate: the full-rip-up reference reroutes such
+// a component in its old relative order (the stable failure-count sort only
+// moves failed nets, which live in other components) against an unchanged
+// local resource state, so it replays the identical searches and reproduces
+// the identical guides. This is also why the seeds deliberately exclude
+// guides that were merely disturbed — a resource touched by a later
+// neighbour's commit: in a congested cluster nearly every guide is
+// disturbed, so seeding on disturbance floods whole components that no
+// failure touched and destroys both the pruning and the replay property.
+func (r *Router) dirtyClosure() []bool {
+	nNets := len(r.guides)
+	nodeBase := nNets
+	linkBase := nodeBase + len(r.G.Nodes)
+	tileBase := linkBase + len(r.G.Links)
+	tileIdx := make(map[tileKey]int, len(r.passages))
+	for key := range r.passages {
+		tileIdx[key] = tileBase + len(tileIdx)
+	}
+	parent := make([]int32, tileBase+len(tileIdx))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for net, g := range r.guides {
+		if g == nil {
+			continue
+		}
+		for _, id := range g.Nodes {
+			union(int32(net), int32(nodeBase+int(id)))
+		}
+		for _, l := range g.Links {
+			union(int32(net), int32(linkBase+l))
+			link := r.G.Link(l)
+			if link.Kind != rgraph.CrossVia {
+				union(int32(net), int32(tileIdx[tileKey{link.Layer, link.Tile}]))
+			}
+		}
+	}
+	seed := make(map[int32]struct{})
+	mark := func(net int) { seed[find(int32(net))] = struct{}{} }
+	for net, g := range r.guides {
+		if g == nil {
+			continue
+		}
+		blocked := false
+		for _, id := range g.Nodes {
+			if _, ok := r.roundBlkNodes[id]; ok {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			for _, l := range g.Links {
+				if _, ok := r.roundBlkLinks[l]; ok {
+					blocked = true
+					break
+				}
+			}
+		}
+		if blocked {
+			mark(net)
+		}
+	}
+	for key := range r.roundBlkTiles {
+		for _, p := range r.passages[key] {
+			mark(p.net)
+		}
+	}
+	dirty := make([]bool, nNets)
+	for net, g := range r.guides {
+		if g == nil {
+			continue
+		}
+		if _, ok := seed[find(int32(net))]; ok {
+			dirty[net] = true
+		}
+	}
+	return dirty
+}
+
+// ripUpForNextRound removes committed guides ahead of the next net-order
+// adjustment round and returns how many it removed. With FullRipUp every
+// guide goes; otherwise only the dirty closure (see dirtyClosure) is
+// ripped, and the clean remainder stays committed (counted in KeptGuides)
+// so the next round reroutes a subset. The dirty set is snapshotted before
+// any rip-up: rip-ups stamp the resources they free, and folding those
+// stamps back into the same round's test would be self-referential.
+func (r *Router) ripUpForNextRound() int {
+	ripped := 0
+	if r.Opt.FullRipUp {
+		for _, g := range r.guides {
+			if g != nil {
+				r.ripUp(g)
+				ripped++
+			}
+		}
+	} else {
+		dirty := r.dirtyClosure()
+		var rip []*Guide
+		for net, g := range r.guides {
+			if g == nil {
+				continue
+			}
+			if dirty[net] {
+				rip = append(rip, g)
+			} else {
+				r.kept++
+			}
+		}
+		for _, g := range rip {
+			r.ripUp(g)
+		}
+		ripped = len(rip)
+	}
+	clear(r.roundBlkNodes)
+	clear(r.roundBlkLinks)
+	clear(r.roundBlkTiles)
+	return ripped
 }
 
 // GuideLength returns the nominal length of a guide (sum of link lengths).

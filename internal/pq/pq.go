@@ -1,0 +1,92 @@
+// Package pq provides a typed binary min-heap. It replaces container/heap
+// on the routing hot paths: container/heap moves elements through
+// interface{} values, so every Push and Pop of a non-pointer element
+// allocates to box it. Heap[T] stores elements in a flat slice of their
+// concrete type — Push amortizes to zero allocations (slice growth only) and
+// Pop never allocates — and Reset keeps the backing array so one heap can be
+// reused across many searches.
+package pq
+
+// Heap is a binary min-heap over T ordered by the less function given to
+// New. The zero value is not usable; call New.
+type Heap[T any] struct {
+	less func(a, b T) bool
+	data []T
+}
+
+// New returns an empty heap ordered by less (a min-heap when less is
+// "a < b").
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap[T]) Len() int { return len(h.data) }
+
+// Reset empties the heap but keeps the backing array for reuse.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.data {
+		h.data[i] = zero // release references held by pointer-carrying types
+	}
+	h.data = h.data[:0]
+}
+
+// Grow ensures capacity for at least n additional elements.
+func (h *Heap[T]) Grow(n int) {
+	if need := len(h.data) + n; need > cap(h.data) {
+		data := make([]T, len(h.data), need)
+		copy(data, h.data)
+		h.data = data
+	}
+}
+
+// Push adds x to the heap.
+func (h *Heap[T]) Push(x T) {
+	h.data = append(h.data, x)
+	h.up(len(h.data) - 1)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	n := len(h.data) - 1
+	top := h.data[0]
+	h.data[0] = h.data[n]
+	var zero T
+	h.data[n] = zero
+	h.data = h.data[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			return
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.data)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.data[r], h.data[l]) {
+			m = r
+		}
+		if !h.less(h.data[m], h.data[i]) {
+			return
+		}
+		h.data[i], h.data[m] = h.data[m], h.data[i]
+		i = m
+	}
+}

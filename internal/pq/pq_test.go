@@ -1,0 +1,101 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapSortsRandomInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(1000) - 500
+		}
+		h := New(func(a, b int) bool { return a < b })
+		for _, v := range in {
+			h.Push(v)
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		for i, w := range want {
+			if h.Len() != n-i {
+				t.Fatalf("Len = %d, want %d", h.Len(), n-i)
+			}
+			if got := h.Pop(); got != w {
+				t.Fatalf("trial %d: pop %d = %d, want %d", trial, i, got, w)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("Len after drain = %d", h.Len())
+		}
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(5)
+	h.Push(1)
+	h.Push(3)
+	if got := h.Pop(); got != 1 {
+		t.Fatalf("pop = %d, want 1", got)
+	}
+	h.Push(0)
+	h.Push(4)
+	for _, want := range []int{0, 3, 4, 5} {
+		if got := h.Pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHeapStructElements(t *testing.T) {
+	type item struct {
+		f   float64
+		idx int32
+	}
+	h := New(func(a, b item) bool { return a.f < b.f })
+	h.Push(item{f: 2.5, idx: 0})
+	h.Push(item{f: 0.5, idx: 1})
+	h.Push(item{f: 1.5, idx: 2})
+	if got := h.Pop(); got.idx != 1 {
+		t.Fatalf("pop idx = %d, want 1", got.idx)
+	}
+	if got := h.Pop(); got.idx != 2 {
+		t.Fatalf("pop idx = %d, want 2", got.idx)
+	}
+}
+
+func TestResetKeepsCapacity(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Grow(64)
+	for i := 0; i < 64; i++ {
+		h.Push(i)
+	}
+	c := cap(h.data)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	if cap(h.data) != c {
+		t.Fatalf("Reset dropped capacity: %d -> %d", c, cap(h.data))
+	}
+}
+
+func TestPushPopNoAllocsAfterWarmup(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Grow(1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			h.Push(512 - i)
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop allocated %.1f allocs/run, want 0", allocs)
+	}
+}

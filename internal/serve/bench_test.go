@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"testing"
 
@@ -44,6 +45,9 @@ func TestMain(m *testing.M) {
 			out = append(out, r)
 		}
 		benchResults.mu.Unlock()
+		// Canonical name order: map iteration would shuffle the file between
+		// runs and bury real regressions in spurious diffs.
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 		if len(out) > 0 {
 			b, err := json.MarshalIndent(out, "", " ")
 			if err == nil {
