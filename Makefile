@@ -1,9 +1,10 @@
-# CI tiers for rdlroute. tier1 is the merge gate; tier2 adds vet and the
-# race detector (slower, run before shipping concurrency-touching changes).
+# CI tiers for rdlroute. tier1 is the merge gate; tier2 adds vet, the
+# domain lint suite and the race detector (slower, run before shipping
+# concurrency-touching changes).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race-gate bench bench-serve bench-drc bench-route fmt
+.PHONY: all tier1 tier2 race-gate lint fmt-check bench bench-serve bench-drc bench-route fmt
 
 all: tier1
 
@@ -11,16 +12,28 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2:
+tier2: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 # Focused race gate over the concurrency-bearing packages: the parallel
 # DRC/verify engines, tile routing, the global router's ordering pool and
 # the serving layer. Faster than a full tier2 run.
-race-gate:
+race-gate: lint
 	$(GO) vet ./...
 	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/
+
+# Domain-specific static analysis (internal/lint): determinism, map
+# iteration, float equality, sanctioned concurrency, and the //rdl:noalloc
+# hot-path contract. Exit 1 on any finding; see doc/LINT.md.
+lint:
+	$(GO) run ./cmd/rdllint
+
+# fmt-check fails (and prints the offenders) when any file needs gofmt,
+# without rewriting anything — the CI-side counterpart of `make fmt`.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,77 @@
+// Command rdllint runs the routing stack's domain-specific static
+// analyzers (internal/lint) over every non-test package of the module:
+//
+//	rdllint            # lint the module containing the working directory
+//	rdllint -C dir     # lint the module containing dir
+//	rdllint -list      # print the analyzers, their scopes, and exit
+//
+// Findings print one per line as file:line:col: analyzer: message, with
+// paths relative to the module root. Exit codes: 0 clean, 1 findings,
+// 2 usage or load failure (parse error, type error, no module).
+//
+// Suppressions: a finding is acknowledged in the source with
+// `//rdl:allow <analyzer> <reason>` on the flagged line or the line
+// above. Allows without reasons and allows that no longer suppress
+// anything are themselves findings, so the exception inventory stays
+// honest. See doc/LINT.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rdlroute/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdllint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "lint the module containing this directory")
+	list := fs.Bool("list", false, "print the analyzers and their scopes, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if a.Scope != nil {
+				scope = strings.Join(a.Scope, ", ")
+			}
+			fmt.Fprintf(stdout, "%-8s  [%s]\n          %s\n", a.Name, scope, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := mod.Lint(analyzers)
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "rdllint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

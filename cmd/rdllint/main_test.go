@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run -list = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"detrand", "mapiter", "floateq", "barego", "noalloc"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRepoExitsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../.."}, &out, &errb); code != 0 {
+		t.Fatalf("rdllint over the repo = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+// TestFindingsExitNonZero builds a throwaway module whose internal/geom
+// reads the wall clock and asserts the driver reports it and exits 1 —
+// the end-to-end path a CI failure takes.
+func TestFindingsExitNonZero(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "internal", "geom")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(root, "go.mod"): "module tmpmod\n\ngo 1.22\n",
+		filepath.Join(dir, "geom.go"): "package geom\n\nimport \"time\"\n\n// Stamp leaks the wall clock into a deterministic package.\nfunc Stamp() time.Time {\n\treturn time.Now()\n}\n",
+	}
+	for path, src := range files {
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", root}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("rdllint over a dirty module = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	want := filepath.Join("internal", "geom", "geom.go")
+	if !strings.Contains(out.String(), want) || !strings.Contains(out.String(), "detrand") {
+		t.Errorf("finding for %s (detrand) not reported:\n%s", want, out.String())
+	}
+}
+
+func TestMissingModuleExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", t.TempDir()}, &out, &errb); code != 2 {
+		t.Fatalf("rdllint outside a module = %d, want 2", code)
+	}
+}

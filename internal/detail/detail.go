@@ -9,6 +9,7 @@ import (
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 	"rdlroute/internal/rgraph"
 )
 
@@ -191,7 +192,7 @@ func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options)
 			return nil
 		})
 	}
-	for _, err := range runPool(units, d.Opt.workers()) {
+	for _, err := range pool.Run(units, d.Opt.workers()) {
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 )
 
 // The DRC engine decomposes the check into independent work units and runs
@@ -199,7 +200,7 @@ func obstacleUnit(routes []*Route, lo, hi int, d *design.Design) []Violation {
 // their outputs in unit order.
 func runUnits(units []func() []Violation, workers int) []Violation {
 	var out []Violation
-	for _, r := range runPool(units, workers) {
+	for _, r := range pool.Run(units, workers) {
 		out = append(out, r...)
 	}
 	return out
@@ -285,12 +286,17 @@ func checkDRC(routes []*Route, rules design.Rules, layers int,
 
 	sortViolations(out)
 	if rec.Enabled() {
-		byKind := make(map[ViolationKind]int64)
+		// Counters are emitted in kind order: accumulating into a map and
+		// ranging over it would emit the JSONL trace lines in randomized
+		// map order (caught by the mapiter analyzer).
+		var byKind [ObstacleViolation + 1]int64
 		for _, v := range out {
 			byKind[v.Kind]++
 		}
 		for k, n := range byKind {
-			rec.Count("drc.violations."+k.String(), n)
+			if n > 0 {
+				rec.Count("drc.violations."+ViolationKind(k).String(), n)
+			}
 		}
 	}
 	return out

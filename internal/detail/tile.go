@@ -9,6 +9,7 @@ import (
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -112,7 +113,7 @@ func (d *Detailer) routeTiles(ctx context.Context, scale float64) (map[hopKey]ge
 			return struct{}{}
 		}
 	}
-	runPool(units, d.Opt.workers())
+	pool.Run(units, d.Opt.workers())
 	for _, k := range keys {
 		for _, p := range jobs[k].passages {
 			out[hopKey{p.net, p.chainIdx}] = p.route

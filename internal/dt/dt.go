@@ -14,6 +14,7 @@ package dt
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"rdlroute/internal/geom"
 )
@@ -196,8 +197,22 @@ func (m *Mesh) CheckTopology() error {
 			}
 		}
 	}
-	for e, ts := range m.edgeTris {
-		for _, ti := range ts {
+	// Check edge incidence in sorted edge order, not map order: with more
+	// than one inconsistency the reported error should not change run to
+	// run (the mapiter analyzer rejects loop-dependent returns out of map
+	// ranges).
+	edges := make([]Edge, 0, len(m.edgeTris))
+	for e := range m.edgeTris {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		for _, ti := range m.edgeTris[e] {
 			if ti == -1 {
 				continue
 			}

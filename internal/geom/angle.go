@@ -10,6 +10,7 @@ func AngleAt(v, a, b Point) float64 {
 	u := a.Sub(v)
 	w := b.Sub(v)
 	nu, nw := u.Norm(), w.Norm()
+	//rdl:allow floateq exact-zero guards division by zero only: any nonzero norm, however small, divides finely
 	if nu == 0 || nw == 0 {
 		return 0
 	}
@@ -26,6 +27,7 @@ func TurnAngle(a, b, c Point) float64 {
 	u := b.Sub(a)
 	w := c.Sub(b)
 	nu, nw := u.Norm(), w.Norm()
+	//rdl:allow floateq exact-zero guards division by zero only: any nonzero norm, however small, divides finely
 	if nu == 0 || nw == 0 {
 		return 0
 	}

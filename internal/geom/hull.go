@@ -12,6 +12,7 @@ func ConvexHull(pts []Point) []Point {
 	}
 	sorted := append([]Point(nil), pts...)
 	sort.Slice(sorted, func(i, j int) bool {
+		//rdl:allow floateq exact compare inside a sort comparator: an eps tie would break the less function's transitivity
 		if sorted[i].X != sorted[j].X {
 			return sorted[i].X < sorted[j].X
 		}

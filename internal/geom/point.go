@@ -51,6 +51,7 @@ func (p Point) Dist2(q Point) float64 {
 // returned unchanged.
 func (p Point) Unit() Point {
 	n := p.Norm()
+	//rdl:allow floateq exact-zero guards division by zero only: any nonzero norm, however small, divides finely
 	if n == 0 {
 		return p
 	}

@@ -32,6 +32,7 @@ func (s Segment) Reversed() Segment { return Segment{A: s.B, B: s.A} }
 func (s Segment) ClosestParam(p Point) float64 {
 	d := s.B.Sub(s.A)
 	l2 := d.Norm2()
+	//rdl:allow floateq exact-zero guards division by zero only: any nonzero norm, however small, divides finely
 	if l2 == 0 {
 		return 0
 	}
@@ -181,6 +182,7 @@ func (l Line) Side(p Point) Orientation { return Orient(l.P, l.Q, p) }
 func (l Line) Project(p Point) Point {
 	d := l.Q.Sub(l.P)
 	l2 := d.Norm2()
+	//rdl:allow floateq exact-zero guards division by zero only: any nonzero norm, however small, divides finely
 	if l2 == 0 {
 		return l.P
 	}

@@ -112,6 +112,8 @@ func newSearchScratch(g *rgraph.Graph) *searchScratch {
 }
 
 // slot maps a state key to its scoreboard slot.
+//
+//rdl:noalloc
 func (s *searchScratch) slot(key stateKey) int32 {
 	base := s.slotBase[key.node]
 	if key.gap >= 0 {
@@ -124,6 +126,8 @@ func (s *searchScratch) slot(key stateKey) int32 {
 }
 
 // begin readies the scratch for one search.
+//
+//rdl:noalloc
 func (s *searchScratch) begin(dstPos geom.Point) {
 	s.gen++
 	if s.gen == 0 { // generation counter wrapped: invalidate explicitly
@@ -139,6 +143,8 @@ func (s *searchScratch) begin(dstPos geom.Point) {
 
 // push relaxes a state: admits it when it improves on the scoreboard and
 // appends it to the arena and open list.
+//
+//rdl:noalloc
 func (r *Router) push(key stateKey, g float64, parent, link int32) {
 	s := r.scr
 	slot := s.slot(key)
@@ -154,6 +160,8 @@ func (r *Router) push(key stateKey, g float64, parent, link int32) {
 }
 
 // route runs crossing-aware A* for one net and returns an uncommitted guide.
+//
+//rdl:noalloc
 func (r *Router) route(net design.Net) (*searchResult, error) {
 	src, dst, err := r.G.NetPins(net)
 	if err != nil {
@@ -193,6 +201,7 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 		}
 	}
 	r.noteSearchFailed()
+	//rdl:allow noalloc failure path only: the error is built after the search is already lost, never per expansion
 	return nil, fmt.Errorf("net %d (%s): %w", net.ID, net.Name, ErrUnroutable)
 }
 
@@ -200,6 +209,8 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 // link must be left through its cross-via link (the wire descends or
 // ascends); a via entered through a cross-via link must be left through an
 // access-via link. The start pin may use anything available.
+//
+//rdl:noalloc
 func (r *Router) expandVia(st searchState, si int32, net int) {
 	arrivedCross := st.key.viaArrive
 	isStart := st.link == -1
@@ -234,6 +245,8 @@ func (r *Router) expandVia(st searchState, si int32, net int) {
 
 // expandEdge expands an edge-node state through its cross-tile and
 // access-via links, enumerating crossing-free insertion gaps.
+//
+//rdl:noalloc
 func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID) {
 	for _, adj := range r.G.Adj[st.key.node] {
 		link := r.G.Link(adj.Link)
@@ -298,6 +311,8 @@ func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID
 
 // pushChordToEdge pushes states entering an edge node from a via node,
 // trying every crossing-free insertion gap.
+//
+//rdl:noalloc
 func (r *Router) pushChordToEdge(st searchState, si int32, net int,
 	adj rgraph.Adjacent, link *rgraph.Link) {
 	if r.nodeUse[adj.To]+r.edgeUnits(net) > r.nodeCap(adj.To) {
@@ -326,6 +341,8 @@ func (r *Router) pushChordToEdge(st searchState, si int32, net int,
 // when the path visits any node twice (a self-intersecting guide, which the
 // commit machinery does not support). The revisit check reuses the scratch
 // seen stamps instead of allocating a map per call.
+//
+//rdl:noalloc
 func (r *Router) reconstruct(net int, goal int32) (*searchResult, bool) {
 	s := r.scr
 	arena := s.arena
@@ -333,9 +350,12 @@ func (r *Router) reconstruct(net int, goal int32) (*searchResult, bool) {
 	for i := goal; i != -1; i = arena[i].parent {
 		n++
 	}
+	//rdl:allow noalloc the result path is budget alloc 1 of 4: commit keeps nodes in the Guide, so they cannot alias scratch
 	nodes := make([]rgraph.NodeID, n)
+	//rdl:allow noalloc the result path is budget alloc 2 of 4: commit keeps links in the Guide, so they cannot alias scratch
 	links := make([]int, n-1)
 	if cap(s.gapsBuf) < n {
+		//rdl:allow noalloc gapsBuf growth is amortized: it reallocates only while the longest path seen keeps growing
 		s.gapsBuf = make([]int, n)
 	}
 	gaps := s.gapsBuf[:n]
@@ -366,5 +386,6 @@ func (r *Router) reconstruct(net int, goal int32) (*searchResult, bool) {
 	// rule of §II-B applies only between different nets, so a guide crossing
 	// itself is electrically and DRC-legal (merely suboptimal, which the
 	// shortest-path objective already discourages).
+	//rdl:allow noalloc result header is budget alloc 3 of 4 pinned by TestRouteSearchDoesNotAllocate
 	return &searchResult{net: net, nodes: nodes, links: links, gaps: gaps}, true
 }

@@ -140,6 +140,8 @@ type chordCoords struct{ c1, c2 float64 }
 // to an electrically different net into boundary coordinates. The search
 // hoists this out of its per-gap loops: resolving a passage walks its edge
 // sequences, which would otherwise repeat for every candidate gap.
+//
+//rdl:noalloc
 func (r *Router) passageCoords(net int, tile *rgraph.Tile, buf []chordCoords) []chordCoords {
 	buf = buf[:0]
 	ps := r.passages[tileKey{tile.Layer, tile.Tri}]
@@ -159,6 +161,8 @@ func (r *Router) passageCoords(net int, tile *rgraph.Tile, buf []chordCoords) []
 
 // chordAllowedCoords reports whether the query chord (q1, q2) crosses any of
 // the pre-resolved passages.
+//
+//rdl:noalloc
 func chordAllowedCoords(q1, q2 float64, pcs []chordCoords) bool {
 	for _, pc := range pcs {
 		if chordsCross(q1, q2, pc.c1, pc.c2) {
@@ -172,6 +176,8 @@ func chordAllowedCoords(q1, q2 float64, pcs []chordCoords) bool {
 // through the tile crosses any committed passage of an electrically
 // different net (same-group passages are the same net and may cross
 // freely).
+//
+//rdl:noalloc
 func (r *Router) chordAllowed(net int, tile *rgraph.Tile, from, to boundaryEnd) bool {
 	r.pcBuf = r.passageCoords(net, tile, r.pcBuf)
 	if len(r.pcBuf) == 0 {

@@ -5,11 +5,10 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 	"rdlroute/internal/pq"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
@@ -34,34 +33,32 @@ func (r *Router) initialOrder(ctx context.Context) []int {
 		return order
 	}
 
-	// Standalone guides, computed in parallel: each net's seed route
-	// ignores every other net, so the searches are independent. Only the
-	// RUDY accumulation below needs the results together.
+	// Standalone guides, computed in parallel through the shared
+	// deterministic pool: each net's seed route ignores every other net, so
+	// the searches are independent and paths[ni] depends only on net ni.
+	// Nets are chunked so one scratch amortizes across a chunk's searches
+	// (the pool schedules units dynamically; a per-net unit would pay a
+	// scratch allocation per net).
 	paths := make([]*plainPath, n)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	next := int32(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Worker-local scratch: the seed searches run concurrently, so
-			// they cannot share the router's serial scratch, but one scratch
-			// per worker amortizes across all the nets the worker claims.
+	const orderChunk = 16
+	var units []func() struct{}
+	for lo := 0; lo < n; lo += orderChunk {
+		lo, hi := lo, lo+orderChunk
+		if hi > n {
+			hi = n
+		}
+		units = append(units, func() struct{} {
 			scr := newPlainScratch(r.G)
-			for {
-				ni := int(atomic.AddInt32(&next, 1)) - 1
-				if ni >= n || obs.Stopped(ctx) {
-					return
+			for ni := lo; ni < hi; ni++ {
+				if obs.Stopped(ctx) {
+					return struct{}{}
 				}
 				paths[ni] = r.routePlain(ni, scr)
 			}
-		}()
+			return struct{}{}
+		})
 	}
-	wg.Wait()
+	pool.Run(units, runtime.GOMAXPROCS(0))
 
 	// RUDY accumulation.
 	density := make(map[tileKey]float64)

@@ -354,7 +354,10 @@ func (r *Router) routedCount() int { return r.routed }
 // and records tile passages. It advances the change clock and stamps every
 // occupied node and link so later rounds can tell which committed guides
 // other nets have since disturbed.
+//
+//rdl:noalloc
 func (r *Router) commit(g *searchResult) {
+	//rdl:allow noalloc the Guide header is budget alloc 4 of 4 pinned by TestRouteSearchDoesNotAllocate; it outlives the round
 	guide := &Guide{Net: g.net, Nodes: g.nodes, Links: g.links}
 	r.clock++
 	for i, id := range g.nodes {
@@ -415,6 +418,8 @@ func (r *Router) passageEndFor(tile *rgraph.Tile, id rgraph.NodeID) passageEnd {
 // advances the change clock and stamps the released nodes and links: freed
 // capacity is as much a state change as consumed capacity for the guides
 // that share those resources.
+//
+//rdl:noalloc
 func (r *Router) ripUp(guide *Guide) {
 	r.clock++
 	for _, id := range guide.Nodes {
@@ -459,6 +464,8 @@ func (r *Router) ripUp(guide *Guide) {
 
 // blockNode records a node whose capacity rejected an expansion of the
 // search in flight (deduplicated per search by stamp).
+//
+//rdl:noalloc
 func (r *Router) blockNode(id rgraph.NodeID) {
 	if r.blkNodeStamp[id] != r.searchSerial {
 		r.blkNodeStamp[id] = r.searchSerial
@@ -467,6 +474,8 @@ func (r *Router) blockNode(id rgraph.NodeID) {
 }
 
 // blockLink records a link whose capacity rejected an expansion.
+//
+//rdl:noalloc
 func (r *Router) blockLink(id int) {
 	if r.blkLinkStamp[id] != r.searchSerial {
 		r.blkLinkStamp[id] = r.searchSerial
@@ -475,6 +484,8 @@ func (r *Router) blockLink(id int) {
 }
 
 // blockTile records a tile where a crossing check rejected a chord.
+//
+//rdl:noalloc
 func (r *Router) blockTile(key tileKey) {
 	if r.blkTileStamp[key] != r.searchSerial {
 		r.blkTileStamp[key] = r.searchSerial

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//rdl:allow <analyzer> <reason>
+//
+// The comment suppresses findings of the named analyzer on its own line
+// and on the line directly below it (so it can trail the flagged
+// statement or sit on its own line above it).
+const allowPrefix = "//rdl:allow"
+
+// allowAnalyzer is the pseudo-analyzer name under which suppression
+// hygiene findings (missing reason, stale allow) are reported. It is not
+// itself suppressible.
+const allowAnalyzer = "rdlallow"
+
+// allowSite is one parsed //rdl:allow comment.
+type allowSite struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows parses every //rdl:allow comment in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowSite {
+	var sites []*allowSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if text != allowPrefix && !strings.HasPrefix(text, allowPrefix+" ") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				sites = append(sites, &allowSite{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// applyAllows drops findings covered by a suppression and appends the
+// hygiene findings: an allow without a reason and an allow that matched
+// nothing are both errors, so every suppression in the tree carries a
+// written justification and outlives only the code it covers.
+func applyAllows(raw []Finding, allows []*allowSite, known map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer == f.Analyzer &&
+				a.pos.Filename == f.Pos.Filename &&
+				(a.pos.Line == f.Pos.Line || a.pos.Line == f.Pos.Line-1) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, a := range allows {
+		if a.analyzer == "" || !known[a.analyzer] {
+			// An allow for an analyzer outside this run (e.g. a fixture test
+			// running a single analyzer) cannot be validated here; the full
+			// driver run covers it.
+			if a.analyzer == "" {
+				out = append(out, Finding{
+					Pos:      a.pos,
+					Analyzer: allowAnalyzer,
+					Message:  "//rdl:allow needs an analyzer name and a reason",
+				})
+			}
+			continue
+		}
+		if a.reason == "" {
+			out = append(out, Finding{
+				Pos:      a.pos,
+				Analyzer: allowAnalyzer,
+				Message:  "//rdl:allow " + a.analyzer + " needs a written reason",
+			})
+		}
+		if !a.used {
+			out = append(out, Finding{
+				Pos:      a.pos,
+				Analyzer: allowAnalyzer,
+				Message:  "stale //rdl:allow " + a.analyzer + ": no finding left to suppress; delete it",
+			})
+		}
+	}
+	return out
+}

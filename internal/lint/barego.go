@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Barego bans bare go statements in the deterministic packages. Parallel
+// stages there must fan out through internal/pool.Run: its fixed unit
+// boundaries and unit-indexed results are what make any worker count
+// byte-identical to the serial path. A hand-rolled goroutine loop has to
+// re-earn that property from scratch every time — and historically the
+// copies drifted (internal/global and internal/verify each carried their
+// own fork of the pool before this analyzer landed).
+var Barego = &Analyzer{
+	Name:  "barego",
+	Doc:   "bare go statements are banned in deterministic packages; concurrency must flow through internal/pool.Run",
+	Scope: DeterministicScope,
+	Run:   runBarego,
+}
+
+func runBarego(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Report(g.Pos(),
+					"bare go statement in a deterministic package: fan out through internal/pool.Run so unit order, not scheduling, decides the output")
+			}
+			return true
+		})
+	}
+}

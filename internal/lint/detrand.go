@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detrand rejects the two nondeterminism sources that silently break
+// byte-identical routing: the process-global math/rand source and the
+// wall clock. Methods on an injected, seeded *rand.Rand are always fine —
+// determinism flows from the seed. Constructing an RNG inside a scoped
+// package (rand.New / rand.NewSource) is flagged so that every in-tree
+// seed site carries an //rdl:allow naming where its seed comes from;
+// reading the global source (rand.Intn, rand.Float64, rand.Seed, ...) or
+// time.Now has no such acknowledgment path and must be fixed by injecting
+// the dependency.
+var Detrand = &Analyzer{
+	Name:  "detrand",
+	Doc:   "global math/rand and time.Now are banned in deterministic packages; RNG construction must name its seed's provenance via //rdl:allow",
+	Scope: ClockScope,
+	Run:   runDetrand,
+}
+
+// randGlobalFuncs are the package-level math/rand functions that read or
+// reseed the shared global source.
+var randGlobalFuncs = map[string]bool{
+	"ExpFloat64": true, "Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"IntN": true, "Intn": true, "N": true, "NormFloat64": true, "Perm": true,
+	"Read": true, "Seed": true, "Shuffle": true, "Uint32": true, "Uint64": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true,
+}
+
+// randConstructors build a new RNG or source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runDetrand(p *Pass) {
+	for _, f := range p.Files {
+		// First pass: spans of rand.New / rand.NewZipf calls, so the
+		// rand.NewSource conventionally nested in their arguments is not
+		// reported a second time on the same line.
+		type span struct{ lo, hi token.Pos }
+		var outer []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := p.pkgFunc(call.Fun); fn != nil && isRandPkg(fn.Pkg().Path()) &&
+				(fn.Name() == "New" || fn.Name() == "NewZipf") {
+				outer = append(outer, span{call.Pos(), call.End()})
+			}
+			return true
+		})
+		enclosed := func(pos token.Pos) bool {
+			for _, s := range outer {
+				if s.lo < pos && pos < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on a rand.Rand/Source value: seed-driven, fine
+			}
+			switch {
+			case isRandPkg(fn.Pkg().Path()) && randConstructors[fn.Name()]:
+				if fn.Name() == "NewSource" && enclosed(sel.Pos()) {
+					return true
+				}
+				p.Reportf(sel.Pos(),
+					"RNG constructed in a deterministic package: rand.%s — inject a seeded *rand.Rand, or //rdl:allow detrand naming the seed's provenance",
+					fn.Name())
+			case isRandPkg(fn.Pkg().Path()) && randGlobalFuncs[fn.Name()]:
+				p.Reportf(sel.Pos(),
+					"rand.%s reads the process-global RNG: routing output would depend on call interleaving — draw from a seeded, injected *rand.Rand",
+					fn.Name())
+			case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+				p.Report(sel.Pos(),
+					"time.Now in a deterministic package: wall clock must not feed routing state — inject a clock, or //rdl:allow detrand for observability-only reads")
+			}
+			return true
+		})
+	}
+}
+
+// pkgFunc resolves a call target to a package-level *types.Func, or nil.
+func (p *Pass) pkgFunc(fun ast.Expr) *types.Func {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags direct ==/!= between floating-point operands in the
+// geometry kernels. Coordinates there are the results of intersections,
+// projections and circumcircle predicates — exact equality on them is
+// almost always a latent epsilon bug; the geom.Eps helpers (ApproxEq,
+// ApproxZero, Point.ApproxEq) are the approved comparisons. The check
+// covers composite types too: comparing two geom.Points with == is float
+// equality on both coordinates. The one exempt idiom is `x != x`, the
+// allocation-free NaN probe.
+var Floateq = &Analyzer{
+	Name:  "floateq",
+	Doc:   "direct ==/!= on floating-point operands (including structs with float fields) is banned in the geometry packages; use the Eps helpers",
+	Scope: GeometryScope,
+	Run:   runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := p.Info.Types[be.X].Type
+			ty := p.Info.Types[be.Y].Type
+			if tx == nil || ty == nil {
+				return true
+			}
+			if !hasFloat(tx) && !hasFloat(ty) {
+				return true
+			}
+			if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN probe
+			}
+			p.Reportf(be.Pos(),
+				"float equality (%s %s %s): exact comparison on computed geometry is an epsilon bug waiting to happen — use geom.ApproxEq/ApproxZero or //rdl:allow floateq with the exactness argument",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+// hasFloat reports whether comparing two values of type t with ==
+// compares floating-point representations anywhere: a float basic type, a
+// struct with a float field (recursively), or an array of such.
+func hasFloat(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Float32, types.Float64, types.Complex64, types.Complex128,
+			types.UntypedFloat, types.UntypedComplex:
+			return true
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasFloat(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasFloat(u.Elem())
+	}
+	return false
+}

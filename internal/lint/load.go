@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("rdlroute/internal/geom").
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Fset is the file set shared by every package of a load.
+	Fset *token.FileSet
+	// Files are the non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded Go module: every non-test package under its root,
+// type-checked against each other and the standard library.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	Fset *token.FileSet
+	// Pkgs is sorted by import path.
+	Pkgs []*Package
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
+
+// modulePath extracts the module path from the go.mod in root.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := moduleLineRE.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	return strings.Trim(string(m[1]), `"`), nil
+}
+
+// stdImporter returns the shared source importer for out-of-module (i.e.
+// standard library) packages. It type-checks from GOROOT sources, so it
+// needs no pre-built export data and no network.
+func stdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// moduleImporter resolves intra-module imports from the packages already
+// checked in this load and everything else through the source importer.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.checked[path]; ok {
+		return p, nil
+	}
+	return mi.std.Import(path)
+}
+
+// parsedPkg is a package between parsing and type-checking.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // intra-module imports only
+}
+
+// LoadModule parses and type-checks every non-test package under root.
+// Directories named testdata or vendor, and hidden or underscore-prefixed
+// directories, are skipped, mirroring the go tool's ./... expansion.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	parsed := make(map[string]*parsedPkg)
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, dir, importPathFor(modPath, root, dir), modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			parsed[pkg.path] = pkg
+		}
+	}
+
+	// Type-check in dependency order.
+	order, err := topoOrder(parsed)
+	if err != nil {
+		return nil, err
+	}
+	mi := &moduleImporter{checked: make(map[string]*types.Package), std: stdImporter(fset)}
+	m := &Module{Root: root, Path: modPath, Fset: fset}
+	for _, path := range order {
+		pp := parsed[path]
+		pkg, err := typeCheck(fset, pp.path, pp.dir, pp.files, mi)
+		if err != nil {
+			return nil, err
+		}
+		mi.checked[pp.path] = pkg.Types
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	return m, nil
+}
+
+// LoadDir parses and type-checks one directory as a standalone package
+// with the given import path, resolving imports through the standard
+// library source importer only. Used by the fixture tests.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	pp, err := parseDir(fset, dir, importPath, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pp == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return typeCheck(fset, importPath, dir, pp.files, stdImporter(fset))
+}
+
+// importPathFor maps a directory under root to its import path.
+func importPathFor(modPath, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the non-test Go files of one directory. It returns nil
+// when the directory holds no non-test Go files.
+func parseDir(fset *token.FileSet, dir, importPath, modPath string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pp := &parsedPkg{path: importPath, dir: dir}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pp.files = append(pp.files, file)
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				pp.imports = append(pp.imports, p)
+			}
+		}
+	}
+	if len(pp.files) == 0 {
+		return nil, nil
+	}
+	sort.Strings(pp.imports)
+	return pp, nil
+}
+
+// topoOrder orders the parsed packages so every intra-module import of a
+// package precedes it.
+func topoOrder(pkgs map[string]*parsedPkg) ([]string, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, dep := range pkgs[path].imports {
+			if _, ok := pkgs[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// typeCheck runs go/types over one package's files.
+func typeCheck(fset *token.FileSet, path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

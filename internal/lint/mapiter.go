@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags range-over-map loops whose bodies are order-sensitive: Go
+// randomizes map iteration order per run, so anything the loop emits in
+// visit order — slice appends, string accumulation, writes to a sink,
+// early returns built from the loop variables — varies run to run and
+// breaks byte-identical output.
+//
+// The analyzer distinguishes two shapes:
+//
+//   - accumulation (appending into a slice): benign when a canonical sort
+//     of the accumulated data follows later in the same function, the
+//     repo's standard collect-then-sort idiom;
+//   - emission (string concatenation, channel sends, loop-dependent
+//     early returns, loop-dependent method or writer calls): no later
+//     sort can repair the order, so these are flagged unconditionally.
+//
+// Order-insensitive reductions — summing values, filling another map
+// keyed by the loop key — are not flagged.
+var Mapiter = &Analyzer{
+	Name:  "mapiter",
+	Doc:   "range over a map feeding order-sensitive output (appends without a later canonical sort, writes, sends, loop-dependent returns) is banned in deterministic packages",
+	Scope: DeterministicScope,
+	Run:   runMapiter,
+}
+
+// sortNeutralizers recognizes the canonical-sort calls that make a later
+// consumer order-independent: anything from sort or slices whose name
+// starts with Sort (plus sort.Stable, sort.Strings, ...), and local
+// helpers whose name contains "sort" (sortProblems, sortViolations, ...).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				path := pn.Imported().Path()
+				if path == "sort" || path == "slices" {
+					return true // every exported sort/slices entry point canonicalizes or is harmless
+				}
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+func runMapiter(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.mapiterFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) mapiterFunc(fd *ast.FuncDecl) {
+	// Positions of canonical-sort calls anywhere in the function: an
+	// accumulating map range is fine if one follows it.
+	var sortPos []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(p.Info, call) {
+			sortPos = append(sortPos, call.Pos())
+		}
+		return true
+	})
+	sortedAfter := func(end token.Pos) bool {
+		for _, sp := range sortPos {
+			if sp > end {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		emission, accumulation := p.orderSensitive(rs)
+		switch {
+		case emission != "":
+			p.Reportf(rs.Pos(),
+				"map iteration %s: map order is randomized per run and no later sort can repair this — iterate a sorted key slice instead",
+				emission)
+		case accumulation != "" && !sortedAfter(rs.End()):
+			p.Reportf(rs.Pos(),
+				"map iteration %s without a subsequent canonical sort: the result inherits randomized map order — sort it afterwards or iterate sorted keys",
+				accumulation)
+		}
+		return true
+	})
+}
+
+// orderSensitive classifies a map-range body. emission describes an
+// unsortable order leak; accumulation describes a sortable one. Both
+// empty means the body is order-insensitive.
+func (p *Pass) orderSensitive(rs *ast.RangeStmt) (emission, accumulation string) {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			loopVars[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			loopVars[obj] = true
+		}
+	}
+	usesLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[p.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if emission != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			emission = "sends on a channel"
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if usesLoopVar(r) {
+					emission = "returns a value built from the loop variables: which entry returns first is schedule-dependent"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+				if bt, ok := p.Info.Types[s.Lhs[0]].Type.Underlying().(*types.Basic); ok &&
+					bt.Info()&types.IsString != 0 && p.declaredOutside(s.Lhs[0], rs) {
+					emission = "concatenates onto a string in visit order"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" &&
+					len(s.Args) > 0 && p.declaredOutside(s.Args[0], rs) {
+					accumulation = "appends to " + types.ExprString(s.Args[0])
+				}
+				return true
+			}
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && p.isEffectCall(sel) {
+				args := make([]ast.Expr, 0, len(s.Args)+1)
+				args = append(args, sel.X)
+				args = append(args, s.Args...)
+				for _, a := range args {
+					if usesLoopVar(a) {
+						emission = "feeds the loop variables to " + types.ExprString(sel) + " in visit order"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return emission, accumulation
+}
+
+// declaredOutside reports whether the root identifier of e names a
+// variable declared outside the range statement (so per-iteration writes
+// to it survive the loop).
+func (p *Pass) declaredOutside(e ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.Ident:
+			obj := p.Info.Uses[v]
+			if obj == nil {
+				obj = p.Info.Defs[v]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+		default:
+			return false
+		}
+	}
+}
+
+// isEffectCall reports whether a selector call can carry state out of the
+// loop: a method on a value (receivers usually hold sinks or accumulators)
+// or a function from one of the writer-shaped stdlib packages.
+func (p *Pass) isEffectCall(sel *ast.SelectorExpr) bool {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "fmt", "io", "bufio", "os":
+				return true
+			default:
+				return false // other package-level calls (math.Abs, ...) are pure enough
+			}
+		}
+	}
+	if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+	}
+	return false
+}

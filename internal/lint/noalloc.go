@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoallocDirective marks a function whose body must not contain
+// allocating constructs. It lives in the function's doc comment:
+//
+//	// route runs crossing-aware A* for one net.
+//	//rdl:noalloc
+//	func (r *Router) route(net design.Net) (*searchResult, error) { ... }
+//
+// The analyzer pins the zero-allocation contract at the definition site
+// instead of only in an allocation-counting test: the test says "this
+// regressed", the annotation says "here is the line that regressed it".
+const NoallocDirective = "//rdl:noalloc"
+
+// Noalloc checks //rdl:noalloc-annotated functions for allocating
+// constructs: make/new, appends that can grow a fresh backing array,
+// escaping composite literals, slice and map literals, closures,
+// string concatenation and string<->[]byte conversions, and interface
+// boxing at calls, assignments and returns.
+//
+// Two append shapes are recognized as non-allocating steady state and
+// admitted: the amortized self-append `x = append(x, ...)` (the reused
+// scratch-buffer idiom) and appends whose base is a slice expression
+// `append(x[:i], ...)` (the in-place delete/reset idiom) — both write
+// into an existing backing array once warm. The check is per-body:
+// callees are not followed, so every function on the hot path carries its
+// own annotation. Intentional allocations (the ≤4 allocs the A* budget
+// grants route+commit) are acknowledged inline with //rdl:allow noalloc.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //rdl:noalloc may not contain allocating constructs; the sanctioned exceptions carry //rdl:allow noalloc",
+	Run:  runNoalloc,
+}
+
+func hasNoallocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == NoallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoalloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
+				continue
+			}
+			p.noallocFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) noallocFunc(fd *ast.FuncDecl) {
+	admitted := p.admittedAppends(fd.Body)
+
+	var results *types.Tuple
+	if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		results = fn.Type().(*types.Signature).Results()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			p.Report(e.Pos(), "closure in //rdl:noalloc function: the func value and its captures escape to the heap")
+			return false // its body is the closure's problem, not this function's
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					p.Report(e.Pos(), "address of composite literal in //rdl:noalloc function: the literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch p.Info.Types[e].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(e.Pos(), "%s literal in //rdl:noalloc function allocates its backing store",
+					kindName(p.Info.Types[e].Type))
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(p.Info.Types[e.X].Type) {
+				p.Report(e.Pos(), "string concatenation in //rdl:noalloc function allocates the result")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(p.Info.Types[e.Lhs[0]].Type) {
+				p.Report(e.Pos(), "string concatenation in //rdl:noalloc function allocates the result")
+			}
+			p.checkBoxingAssign(e)
+		case *ast.ReturnStmt:
+			if results != nil && len(e.Results) == results.Len() {
+				for i, r := range e.Results {
+					if p.boxes(results.At(i).Type(), r) {
+						p.Reportf(r.Pos(), "return boxes %s into interface %s in //rdl:noalloc function",
+							types.ExprString(r), results.At(i).Type())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			p.checkCall(e, admitted)
+		}
+		return true
+	})
+}
+
+// admittedAppends collects the append calls in the non-allocating
+// steady-state shapes: `x = append(x, ...)` and `y = append(x[:i], ...)`.
+func (p *Pass) admittedAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	admitted := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !p.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+				continue
+			}
+			if _, isSliceExpr := call.Args[0].(*ast.SliceExpr); isSliceExpr {
+				admitted[call] = true
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				admitted[call] = true
+			}
+		}
+		return true
+	})
+	return admitted
+}
+
+func (p *Pass) checkCall(call *ast.CallExpr, admitted map[*ast.CallExpr]bool) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				p.Reportf(call.Pos(), "%s in //rdl:noalloc function allocates", b.Name())
+			case "append":
+				if !admitted[call] {
+					p.Report(call.Pos(), "append outside the reuse idioms (x = append(x, ...) or append(x[:i], ...)) in //rdl:noalloc function can grow a fresh backing array")
+				}
+			}
+			return
+		}
+	}
+
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Conversions.
+	if tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		dst := tv.Type
+		src := p.Info.Types[call.Args[0]].Type
+		if src == nil {
+			return
+		}
+		if stringBytesConv(dst, src) {
+			p.Reportf(call.Pos(), "conversion %s(%s) in //rdl:noalloc function copies the data",
+				dst, types.ExprString(call.Args[0]))
+		} else if p.boxes(dst, call.Args[0]) {
+			p.Reportf(call.Pos(), "conversion boxes %s into interface %s in //rdl:noalloc function",
+				types.ExprString(call.Args[0]), dst)
+		}
+		return
+	}
+	// Ordinary calls: check arguments against interface parameters.
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if p.boxes(pt, arg) {
+			p.Reportf(arg.Pos(), "argument boxes %s into interface %s in //rdl:noalloc function",
+				types.ExprString(arg), pt)
+		}
+	}
+}
+
+func (p *Pass) checkBoxingAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		var lt types.Type
+		if as.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		} else if tv, ok := p.Info.Types[lhs]; ok {
+			lt = tv.Type
+		}
+		if lt == nil {
+			continue
+		}
+		if p.boxes(lt, as.Rhs[i]) {
+			p.Reportf(as.Rhs[i].Pos(), "assignment boxes %s into interface %s in //rdl:noalloc function",
+				types.ExprString(as.Rhs[i]), lt)
+		}
+	}
+}
+
+// boxes reports whether storing expr into a destination of type dst wraps
+// a concrete value in an interface (which may heap-allocate the value).
+func (p *Pass) boxes(dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// paramType resolves the parameter type matching argument i, unrolling
+// variadics.
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if ellipsis {
+			return last // the slice is passed whole; no per-element boxing
+		}
+		if sl, ok := last.Underlying().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// isBuiltin reports whether fun names the given builtin.
+func (p *Pass) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func stringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}

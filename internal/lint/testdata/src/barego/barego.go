@@ -1,0 +1,32 @@
+// Package barego exercises the barego analyzer: a hand-rolled goroutine
+// fan-out is flagged, serial code is clean, and an acknowledged
+// supervisor goroutine is suppressed.
+package barego
+
+import "sync"
+
+// fanOut launches bare goroutines. FLAGGED.
+func fanOut(units []func()) {
+	var wg sync.WaitGroup
+	for _, u := range units {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u()
+		}()
+	}
+	wg.Wait()
+}
+
+// serial runs the units inline. CLEAN.
+func serial(units []func()) {
+	for _, u := range units {
+		u()
+	}
+}
+
+// sanctioned is an acknowledged exception. SUPPRESSED.
+func sanctioned(done chan struct{}) {
+	//rdl:allow barego fixture exception: supervisor goroutine outside any determinism contract
+	go func() { close(done) }()
+}

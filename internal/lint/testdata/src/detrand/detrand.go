@@ -1,0 +1,43 @@
+// Package detrand exercises the detrand analyzer: reads of the
+// process-global RNG and the wall clock are flagged, injected seeded
+// randomness is clean, and acknowledged RNG construction is suppressed.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// jitterGlobal draws from the process-global source. FLAGGED.
+func jitterGlobal() float64 {
+	return rand.Float64()
+}
+
+// stamp reads the wall clock. FLAGGED.
+func stamp() time.Time {
+	return time.Now()
+}
+
+// fresh constructs an unacknowledged RNG. FLAGGED once: the NewSource
+// nested inside the New call folds into the New finding.
+func fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// jitter draws from an injected seeded RNG. CLEAN: methods on a
+// *rand.Rand value are seed-driven.
+func jitter(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// elapsed uses an injected clock. CLEAN.
+func elapsed(now func() time.Time) time.Time {
+	return now()
+}
+
+// seeded constructs an RNG whose seed provenance is acknowledged.
+// SUPPRESSED.
+func seeded(seed int64) *rand.Rand {
+	//rdl:allow detrand seed comes from the caller's options, not from entropy
+	return rand.New(rand.NewSource(seed))
+}

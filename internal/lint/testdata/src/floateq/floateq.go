@@ -1,0 +1,48 @@
+// Package floateq exercises the floateq analyzer: direct ==/!= on
+// floats and float-bearing structs is flagged, epsilon comparisons and
+// the NaN probe are clean, and an exact-zero guard is suppressed.
+package floateq
+
+const eps = 1e-9
+
+type point struct{ X, Y float64 }
+
+// sameCoord compares computed floats exactly. FLAGGED.
+func sameCoord(a, b float64) bool {
+	return a == b
+}
+
+// samePoint compares structs with float fields. FLAGGED: this is float
+// equality on both coordinates.
+func samePoint(p, q point) bool {
+	return p == q
+}
+
+// approxEq is the approved epsilon comparison. CLEAN.
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// sameIndex compares integers. CLEAN.
+func sameIndex(i, j int) bool {
+	return i == j
+}
+
+// isNaN uses the x != x probe. CLEAN.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// divGuard's exact zero test is intentional: any nonzero value, however
+// small, divides finely. SUPPRESSED.
+func divGuard(n float64) float64 {
+	//rdl:allow floateq exact zero guards division by zero only
+	if n == 0 {
+		return 0
+	}
+	return 1 / n
+}

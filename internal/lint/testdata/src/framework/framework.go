@@ -1,0 +1,35 @@
+// Package framework exercises the suppression machinery itself: a
+// load-bearing allow suppresses its finding, while a stale allow, a
+// reasonless allow, and an allow with no analyzer name are findings in
+// their own right.
+package framework
+
+import "time"
+
+// now carries a load-bearing, reasoned allow. CLEAN.
+func now() time.Time {
+	//rdl:allow detrand fixture clock read, acknowledged with a reason
+	return time.Now()
+}
+
+// pure has nothing left to suppress: the allow outlived the code it
+// covered. FLAGGED (rdlallow: stale).
+//
+//rdl:allow detrand this comment outlived the code it covered
+func pure(x int) int {
+	return x + 1
+}
+
+// later's allow suppresses the time.Now below but carries no written
+// reason. FLAGGED (rdlallow: needs a reason).
+func later() time.Time {
+	//rdl:allow detrand
+	return time.Now()
+}
+
+// broken's allow names no analyzer at all. FLAGGED (rdlallow), and the
+// time.Now it fails to cover is FLAGGED too (detrand).
+func broken() time.Time {
+	//rdl:allow
+	return time.Now()
+}

@@ -1,0 +1,76 @@
+// Package mapiter exercises the mapiter analyzer: order-sensitive map
+// ranges are flagged, collect-then-sort and pure reductions are clean,
+// and an acknowledged set-consumption loop is suppressed.
+package mapiter
+
+import "sort"
+
+// collect appends values in visit order and never sorts. FLAGGED
+// (accumulation without a subsequent canonical sort).
+func collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// firstError returns a loop-dependent value. FLAGGED (emission: which
+// entry returns first is schedule-dependent).
+func firstError(m map[string]error) error {
+	for _, err := range m {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// render concatenates onto an outer string in visit order. FLAGGED
+// (emission: no later sort can repair concatenation order).
+func render(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// keys sorts after collecting — the repo's canonical idiom. CLEAN.
+func keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// total is an order-insensitive reduction. CLEAN.
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// invert fills another map keyed by the loop value. CLEAN.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// setMembers accumulates keys the caller only ever membership-tests.
+// SUPPRESSED.
+func setMembers(m map[int]bool) []int {
+	var out []int
+	//rdl:allow mapiter consumed as a set by the caller: membership only, order never observed
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Package noalloc exercises the noalloc analyzer: allocating constructs
+// inside //rdl:noalloc functions are flagged, the reuse idioms and
+// unannotated functions are clean, and a budgeted setup allocation is
+// suppressed.
+package noalloc
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+type buf struct {
+	items []int
+}
+
+// grow violates the contract several ways. FLAGGED: make, a non-reuse
+// append, a closure, string concatenation, and boxing into fmt.Sprint.
+//
+//rdl:noalloc
+func grow(b *buf, n int) []int {
+	fresh := make([]int, n)
+	other := append(fresh, b.items...)
+	f := func() int { return n }
+	_ = f
+	msg := "n=" + fmt.Sprint(n)
+	_ = msg
+	return other
+}
+
+// ship boxes its argument into an interface parameter. FLAGGED.
+//
+//rdl:noalloc
+func ship(s sink, v int) {
+	s.accept(v)
+}
+
+// box boxes its return value. FLAGGED.
+//
+//rdl:noalloc
+func box(v int) any {
+	return v
+}
+
+// raw copies the string into a fresh byte slice. FLAGGED.
+//
+//rdl:noalloc
+func raw(s string) []byte {
+	return []byte(s)
+}
+
+// hot follows the reuse idioms. CLEAN.
+//
+//rdl:noalloc
+func hot(b *buf, v int) {
+	b.items = append(b.items, v)
+	b.items = append(b.items[:0], v)
+}
+
+// cold carries no annotation: allocations are fine here. CLEAN.
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+// seed's one-time setup allocation is acknowledged. SUPPRESSED.
+//
+//rdl:noalloc
+func seed(n int) *buf {
+	//rdl:allow noalloc one-time setup allocation, measured and budgeted
+	return &buf{items: make([]int, 0, n)}
+}

@@ -30,6 +30,8 @@ type JSONL struct {
 
 // NewJSONL creates a JSON-lines sink over w. The caller owns w and closes
 // it after the run.
+//
+//rdl:allow detrand default trace clock: timestamps only decorate JSONL events, routing state never reads them; tests inject a fake clock
 func NewJSONL(w io.Writer) *JSONL { return newJSONL(w, time.Now) }
 
 // newJSONL injects the clock; tests pin it for golden output.

@@ -73,6 +73,7 @@ func StartSpan(rec Recorder, stage string) Span {
 		return Span{}
 	}
 	rec.StageStart(stage)
+	//rdl:allow detrand span timing is observability only: durations are reported, never fed back into routing
 	return Span{rec: rec, stage: stage, start: time.Now()}
 }
 

@@ -27,6 +27,7 @@ func NewProgress(w io.Writer, interval time.Duration) *Progress {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
+	//rdl:allow detrand default throttle clock: it only paces terminal repaints, never routing state; tests inject a fake clock
 	return &Progress{w: w, interval: interval, now: time.Now}
 }
 

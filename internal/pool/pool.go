@@ -1,0 +1,51 @@
+// Package pool provides the routing stack's one sanctioned concurrency
+// primitive: a deterministic fan-out over a fixed list of work units.
+//
+// Every parallel stage in the pipeline — the DRC engine, tile routing,
+// route assembly, the verify gate and the global router's standalone
+// ordering seeds — must schedule its goroutines through Run. Unit
+// boundaries are fixed by the caller and every result lands at its own
+// unit's index, so any pool size (including the serial workers<=1 path)
+// produces byte-identical output; only the scheduling varies. The
+// `barego` analyzer in internal/lint enforces this: bare go statements
+// in the deterministic packages are rejected at the source level, and
+// this package is the single place a worker goroutine may be launched.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes the units on a pool of the given size and returns their
+// results indexed by unit.
+func Run[T any](units []func() T, workers int) []T {
+	results := make([]T, len(units))
+	if workers <= 1 || len(units) <= 1 {
+		for i, u := range units {
+			results[i] = u()
+		}
+		return results
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(len(units)) {
+					return
+				}
+				results[i] = units[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,37 @@
+package pool
+
+import (
+	"testing"
+)
+
+// TestRunIdenticalAcrossPoolSizes pins the determinism contract: results are
+// indexed by unit, so every worker count yields the same output slice.
+func TestRunIdenticalAcrossPoolSizes(t *testing.T) {
+	const n = 100
+	mk := func() []func() int {
+		units := make([]func() int, n)
+		for i := range units {
+			i := i
+			units[i] = func() int { return i * i }
+		}
+		return units
+	}
+	ref := Run(mk(), 1)
+	for _, workers := range []int{0, 2, 4, 8, 200} {
+		got := Run(mk(), workers)
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: unit %d returned %d, serial reference %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run[int](nil, 4); len(got) != 0 {
+		t.Fatalf("Run(nil) returned %v, want empty", got)
+	}
+}

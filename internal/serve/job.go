@@ -203,6 +203,7 @@ func (j *Job) markRunning() bool {
 		return false
 	}
 	j.state = StateRunning
+	//rdl:allow detrand job lifecycle timestamp: reported in the job status API, never used in routing
 	j.started = time.Now()
 	return true
 }
@@ -214,6 +215,7 @@ func (j *Job) finish(out *router.Output, err error, state State) {
 	j.state = state
 	j.out = out
 	j.err = err
+	//rdl:allow detrand job lifecycle timestamp: reported in the job status API, never used in routing
 	j.finished = time.Now()
 	j.mu.Unlock()
 	j.cancel() // release the job context's resources
@@ -230,6 +232,7 @@ func (j *Job) cancelQueued() bool {
 	}
 	j.state = StateCancelled
 	j.err = ErrCancelled
+	//rdl:allow detrand job lifecycle timestamp: reported in the job status API, never used in routing
 	j.finished = time.Now()
 	j.mu.Unlock()
 	j.cancel()

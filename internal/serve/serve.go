@@ -205,16 +205,17 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 
 	jctx, jcancel := context.WithCancel(e.baseCtx)
 	j := &Job{
-		id:        id,
-		key:       key,
-		priority:  req.Priority,
-		d:         req.Design,
-		spec:      req.Spec,
-		collect:   obs.NewCollector(),
-		ctx:       jctx,
-		cancel:    jcancel,
-		done:      make(chan struct{}),
-		state:     StateQueued,
+		id:       id,
+		key:      key,
+		priority: req.Priority,
+		d:        req.Design,
+		spec:     req.Spec,
+		collect:  obs.NewCollector(),
+		ctx:      jctx,
+		cancel:   jcancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		//rdl:allow detrand job lifecycle timestamp: reported in the job status API, never used in routing
 		submitted: time.Now(),
 	}
 

@@ -23,13 +23,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 )
 
 // Problem is one verification finding.
@@ -244,8 +243,13 @@ func Check(d *design.Design, routes []*detail.Route, opt Options) *Report {
 
 	sortProblems(rep.Problems)
 	if rec.Enabled() {
-		for kind, n := range rep.Counts() {
-			rec.Count("verify.findings."+kind, int64(n))
+		// Counters are emitted in canonical kind order: ranging over the
+		// Counts() map would emit the JSONL trace lines in randomized map
+		// order (caught by the mapiter analyzer).
+		for _, kind := range Kinds {
+			if n := rep.Count(kind); n > 0 {
+				rec.Count("verify.findings."+kind.String(), int64(n))
+			}
 		}
 	}
 	return rep
@@ -377,38 +381,11 @@ func viaWireUnit(d *design.Design, vias []viaRef, lo, hi int,
 	return out
 }
 
-// runUnits executes the units on a pool of the given size and concatenates
-// their outputs in unit order.
+// runUnits executes the units on the shared deterministic pool and
+// concatenates their outputs in unit order.
 func runUnits(units []func() []Problem, workers int) []Problem {
-	results := make([][]Problem, len(units))
-	if workers <= 1 || len(units) <= 1 {
-		for i, u := range units {
-			results[i] = u()
-		}
-	} else {
-		if workers > len(units) {
-			workers = len(units)
-		}
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := next.Add(1)
-					if i >= int64(len(units)) {
-						return
-					}
-					results[i] = units[i]()
-				}
-			}()
-		}
-		wg.Wait()
-	}
 	var out []Problem
-	for _, r := range results {
+	for _, r := range pool.Run(units, workers) {
 		out = append(out, r...)
 	}
 	return out

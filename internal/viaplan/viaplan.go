@@ -127,6 +127,7 @@ func Build(d *design.Design, opt Options) (*Plan, error) {
 	}
 
 	clearance := d.Rules.ViaWidth + d.Rules.MinSpacing
+	//rdl:allow detrand jitter RNG is seeded from Options.Seed: identical design+options give an identical via lattice
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 
 	// One lattice per via layer. Odd layers are offset by half a pitch so
