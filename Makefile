@@ -17,11 +17,12 @@ tier2: lint
 	$(GO) test -race ./...
 
 # Focused race gate over the concurrency-bearing packages: the parallel
-# DRC/verify engines, tile routing, the global router's ordering pool and
-# the serving layer. Faster than a full tier2 run.
+# DRC/verify engines, tile routing, the global router's speculative
+# multi-net stage and ordering pool, the pipeline facade's Parallelism
+# propagation and the serving layer. Faster than a full tier2 run.
 race-gate: lint
 	$(GO) vet ./...
-	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/
+	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/ ./internal/router/
 
 # Domain-specific static analysis (internal/lint): determinism, map
 # iteration, float equality, sanctioned concurrency, and the //rdl:noalloc
@@ -53,7 +54,9 @@ bench-drc:
 
 # Routing hot path: global A*/rip-up and detailed routing per dense case.
 # Writes ns/op, allocs/op and B/op to BENCH_route.json — the allocation
-# counts are the zero-allocation A* regression gate.
+# counts are the zero-allocation A* regression gate. Global entries also
+# carry speculation_hit_rate and speedup_vs_serial (default Parallelism
+# vs the serial reference; both produce byte-identical results).
 bench-route:
 	BENCH_ROUTE_OUT=$(CURDIR)/BENCH_route.json \
 		$(GO) test -run '^$$' -bench 'BenchmarkGlobalRoute|BenchmarkDetailRoute' -benchmem .

@@ -10,6 +10,7 @@ import (
 	"context"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
 	"rdlroute/internal/global"
+	"rdlroute/internal/pool"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
 )
@@ -34,10 +36,38 @@ func recordRouteBench(e benchjson.Entry) {
 	routeBenchResults.mu.Unlock()
 }
 
+// amendRouteBench merges extra fields into an already recorded entry.
+func amendRouteBench(name string, extra benchjson.Entry) {
+	routeBenchResults.mu.Lock()
+	if e, ok := routeBenchResults.m[name]; ok {
+		for k, v := range extra {
+			e[k] = v
+		}
+	}
+	routeBenchResults.mu.Unlock()
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_ROUTE_OUT"); path != "" && code == 0 {
 		routeBenchResults.mu.Lock()
+		// Pair each parallel global entry with its serial reference into a
+		// measured speedup: both runs produce byte-identical results, so
+		// the ratio is pure scheduling gain (1.0 on a single-CPU host).
+		for key, e := range routeBenchResults.m {
+			if e["stage"] != "global" || strings.HasSuffix(key, "/serial") {
+				continue
+			}
+			se, ok := routeBenchResults.m[key+"/serial"]
+			if !ok {
+				continue
+			}
+			sn, _ := se["ns_per_op"].(float64)
+			pn, _ := e["ns_per_op"].(float64)
+			if sn > 0 && pn > 0 {
+				e["speedup_vs_serial"] = sn / pn
+			}
+		}
 		out := make([]benchjson.Entry, 0, len(routeBenchResults.m))
 		for _, e := range routeBenchResults.m {
 			out = append(out, e)
@@ -110,13 +140,39 @@ func measureLoop(b *testing.B, name, stage, cse string, fn func()) {
 
 // BenchmarkGlobalRoute measures the global-routing stage alone: the graph is
 // prebuilt, each iteration runs a fresh router over it (RUDY ordering,
-// crossing-aware A*, rip-up rounds, diagonal refinement).
+// crossing-aware A*, rip-up rounds, diagonal refinement). Each case runs
+// twice — at the default Parallelism (GOMAXPROCS, capped at 8) and at the
+// serial reference — and the parallel entry additionally records the
+// speculation hit rate; TestMain derives speedup_vs_serial from the pair.
 func BenchmarkGlobalRoute(b *testing.B) {
 	for _, name := range design.DenseNames() {
 		b.Run(name, func(b *testing.B) {
 			g := builtCase(b, name)
+			var last *global.Result
 			measureLoop(b, "global/"+name, "global", name, func() {
 				r := global.New(g, global.Options{})
+				res, err := r.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Routability() == 0 {
+					b.Fatal("routed nothing")
+				}
+				last = res
+			})
+			rate := 0.0
+			if t := last.SpeculationHits + last.SpeculationMisses; t > 0 {
+				rate = float64(last.SpeculationHits) / float64(t)
+			}
+			amendRouteBench("global/"+name, benchjson.Entry{
+				"speculation_hit_rate": rate,
+				"parallelism":          pool.Default(0),
+			})
+		})
+		b.Run(name+"/serial", func(b *testing.B) {
+			g := builtCase(b, name)
+			measureLoop(b, "global/"+name+"/serial", "global", name, func() {
+				r := global.New(g, global.Options{Parallelism: 1})
 				res, err := r.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)

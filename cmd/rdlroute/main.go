@@ -81,6 +81,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		tracePath  = fs.String("trace", "", "write a JSON-lines event trace (spans, counters, progress) to this file")
 		progress   = fs.Bool("progress", false, "print live per-stage progress to stderr")
 		strict     = fs.Bool("strict", false, "fail with exit code 3 on timeout, 4 on unrouted nets")
+		workers    = fs.Int("workers", 0, "pipeline parallelism: worker-pool size for global/detail/DRC/verify (0 = GOMAXPROCS capped at 8, 1 = serial); output is identical for every value")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -165,7 +166,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	unrouted := 0
 	switch *which {
 	case "ours":
-		out, err := router.Route(ctx, d, router.Options{TimeBudget: *budget, Rec: rec, Verify: vmode})
+		out, err := router.Route(ctx, d, router.Options{
+			TimeBudget: *budget, Rec: rec, Verify: vmode, Parallelism: *workers,
+		})
 		if out == nil {
 			return err
 		}

@@ -58,7 +58,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdlserved", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
-		workers   = fs.Int("workers", 0, "concurrent routing jobs (0 = GOMAXPROCS, capped at 4)")
+		workers   = fs.Int("workers", 0, "concurrent routing jobs (0 = GOMAXPROCS, capped at 4); per-job pipeline parallelism is the job's \"parallelism\" field")
 		queueCap  = fs.Int("queue", 64, "queued-job capacity before submissions get 429")
 		cacheSize = fs.Int("cache", 128, "result-cache entries (negative disables)")
 		budget    = fs.Duration("budget", 30*time.Second, "default per-job time budget for requests without one")

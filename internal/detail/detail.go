@@ -3,7 +3,6 @@ package detail
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 
 	"rdlroute/internal/geom"
@@ -42,16 +41,7 @@ type Options struct {
 	Rec obs.Recorder
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
-	return w
-}
+func (o Options) workers() int { return pool.Default(o.Workers) }
 
 func (o Options) withDefaults(pitch float64) Options {
 	if o.Candidates == 0 {

@@ -3,11 +3,11 @@ package detail
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 )
 
 // Design-rule checking over finished detailed routes. A uniform spatial hash
@@ -92,16 +92,7 @@ type DRCOptions struct {
 	Rec obs.Recorder
 }
 
-func (o DRCOptions) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
-	return w
-}
+func (o DRCOptions) workers() int { return pool.Default(o.Workers) }
 
 // CheckDRC verifies all three §II-B wire rules over the routes and returns
 // every violation found (spacing is reported once per offending segment

@@ -17,8 +17,9 @@ var ErrUnroutable = errors.New("global: net unroutable")
 
 // searchResult is an uncommitted guide: the node path, links, and the
 // sequence insertion gap chosen at every edge node. The gaps slice aliases
-// router scratch and is only valid until the next route call; nodes and
-// links are freshly allocated because commit keeps them in the Guide.
+// scratch storage and is only valid until the owning scratch's next route
+// call; nodes and links are freshly allocated because commit keeps them in
+// the Guide.
 type searchResult struct {
 	net   int
 	nodes []rgraph.NodeID
@@ -56,7 +57,11 @@ type heapItem struct {
 // searchScratch owns every buffer the crossing-aware A* needs, so repeated
 // route calls — the rip-up rounds and diagonal-refinement reroutes are many
 // thousands of searches on dense designs — allocate nothing beyond the
-// result path itself.
+// result path itself. A scratch is single-owner state: the router's
+// canonical scratch serves the serial reference path, and the speculative
+// parallel stage gives each pool worker its own, which is what lets
+// searches for different nets run concurrently against the shared
+// (frozen) router state without any locking.
 //
 // The best-cost scoreboard is dense: every reachable state key maps to a
 // fixed slot (via nodes get two slots, one per viaArrive flavour; edge nodes
@@ -64,6 +69,19 @@ type heapItem struct {
 // needs gaps 0..m and m never exceeds the node capacity). A generation
 // counter stamps slot validity so clearing the scoreboard between searches
 // is one integer increment, not an O(slots) wipe.
+//
+// Beyond the A* buffers the scratch records two resource sets per search,
+// both stamp-deduplicated against the per-search serial:
+//
+//   - the blocked set — nodes, links and tiles where a capacity or crossing
+//     check rejected an expansion; on failure the caller folds it into the
+//     round-level sets that seed incremental rip-up;
+//   - the read set — every node, link and tile whose *mutable* state
+//     (usage, net-sequence list, passage list) the search consulted. The
+//     search is a deterministic function of those reads, so a speculative
+//     result is exactly what the serial search would have produced if and
+//     only if none of the read resources changed in the meantime. That is
+//     the validation test the speculative commit path applies.
 type searchScratch struct {
 	slotBase []int32 // per node: first scoreboard slot
 	bestG    []float64
@@ -78,20 +96,79 @@ type searchScratch struct {
 	seen    []uint32
 	seenGen uint32
 
-	// gapsBuf backs searchResult.gaps; commit consumes the gaps before the
-	// next search overwrites them.
+	// gapsBuf backs searchResult.gaps; the caller consumes the gaps before
+	// this scratch's next search overwrites them.
 	gapsBuf []int
 
 	// dstPos is the heuristic target of the search in flight.
 	dstPos geom.Point
+
+	// pcBuf is a scratch buffer for resolved passage coordinates, reused
+	// across search expansions.
+	pcBuf []chordCoords
+
+	// tileBase maps tileKey{layer, tri} to the dense tile index
+	// tileBase[layer]+tri used by the per-tile stamp arrays.
+	tileBase []int32
+
+	// Per-search work counters, reset by begin. The caller folds them into
+	// the router totals (serial path) or the speculation ledger (parallel
+	// path), so the router's reported totals stay byte-identical to the
+	// serial reference for any worker count.
+	expansions int
+	heapPushes int
+
+	// serial stamps one search; the blocked and read recorders dedup
+	// against it.
+	serial int64
+
+	// Blocked-resource recording (see type comment).
+	blkNodeStamp []int64
+	blkLinkStamp []int64
+	blkTileStamp []int64
+	blkNodes     []rgraph.NodeID
+	blkLinks     []int
+	blkTiles     []tileKey
+
+	// Read-set recording (see type comment).
+	rdNodeStamp []int64
+	rdLinkStamp []int64
+	rdTileStamp []int64
+	rdNodes     []rgraph.NodeID
+	rdLinks     []int
+	rdTiles     []tileKey
 }
 
-// newSearchScratch sizes the scoreboard for a graph.
+// graphTileBase computes the dense tile indexing shared by the router's
+// tile change-stamps and every scratch: tile (layer, tri) lives at
+// base[layer]+tri, and base[len(layers)] is the total tile count.
+func graphTileBase(g *rgraph.Graph) []int32 {
+	base := make([]int32, len(g.Layers)+1)
+	var total int32
+	for li := range g.Layers {
+		base[li] = total
+		total += int32(len(g.Layers[li].Mesh.Tris))
+	}
+	base[len(g.Layers)] = total
+	return base
+}
+
+// newSearchScratch sizes the scoreboard and recorder arrays for a graph.
 func newSearchScratch(g *rgraph.Graph) *searchScratch {
+	tb := graphTileBase(g)
+	nTiles := int(tb[len(g.Layers)])
 	s := &searchScratch{
 		slotBase: make([]int32, len(g.Nodes)+1),
 		seen:     make([]uint32, len(g.Nodes)),
 		open:     pq.New(func(a, b heapItem) bool { return a.f < b.f }),
+		tileBase: tb,
+
+		blkNodeStamp: make([]int64, len(g.Nodes)),
+		blkLinkStamp: make([]int64, len(g.Links)),
+		blkTileStamp: make([]int64, nTiles),
+		rdNodeStamp:  make([]int64, len(g.Nodes)),
+		rdLinkStamp:  make([]int64, len(g.Links)),
+		rdTileStamp:  make([]int64, nTiles),
 	}
 	var slots int32
 	for id := range g.Nodes {
@@ -125,7 +202,16 @@ func (s *searchScratch) slot(key stateKey) int32 {
 	return base
 }
 
-// begin readies the scratch for one search.
+// tileIndex maps a tile key to its dense index.
+//
+//rdl:noalloc
+func (s *searchScratch) tileIndex(k tileKey) int32 {
+	return s.tileBase[k.layer] + int32(k.tri)
+}
+
+// begin readies the scratch for one search: new scoreboard generation, new
+// recording serial, empty arena, open list, blocked and read sets, zeroed
+// work counters.
 //
 //rdl:noalloc
 func (s *searchScratch) begin(dstPos geom.Point) {
@@ -139,68 +225,143 @@ func (s *searchScratch) begin(dstPos geom.Point) {
 	s.arena = s.arena[:0]
 	s.open.Reset()
 	s.dstPos = dstPos
+	s.expansions = 0
+	s.heapPushes = 0
+	s.serial++
+	s.blkNodes = s.blkNodes[:0]
+	s.blkLinks = s.blkLinks[:0]
+	s.blkTiles = s.blkTiles[:0]
+	s.rdNodes = s.rdNodes[:0]
+	s.rdLinks = s.rdLinks[:0]
+	s.rdTiles = s.rdTiles[:0]
+}
+
+// readNode records that the search consulted node id's mutable state (its
+// usage count or net-sequence list), deduplicated per search by stamp.
+//
+//rdl:noalloc
+func (s *searchScratch) readNode(id rgraph.NodeID) {
+	if s.rdNodeStamp[id] != s.serial {
+		s.rdNodeStamp[id] = s.serial
+		s.rdNodes = append(s.rdNodes, id)
+	}
+}
+
+// readLink records that the search consulted link id's usage.
+//
+//rdl:noalloc
+func (s *searchScratch) readLink(id int) {
+	if s.rdLinkStamp[id] != s.serial {
+		s.rdLinkStamp[id] = s.serial
+		s.rdLinks = append(s.rdLinks, id)
+	}
+}
+
+// readTile records that the search consulted a tile's passage list.
+//
+//rdl:noalloc
+func (s *searchScratch) readTile(key tileKey) {
+	if i := s.tileIndex(key); s.rdTileStamp[i] != s.serial {
+		s.rdTileStamp[i] = s.serial
+		s.rdTiles = append(s.rdTiles, key)
+	}
+}
+
+// blockNode records a node whose capacity rejected an expansion of the
+// search in flight (deduplicated per search by stamp).
+//
+//rdl:noalloc
+func (s *searchScratch) blockNode(id rgraph.NodeID) {
+	if s.blkNodeStamp[id] != s.serial {
+		s.blkNodeStamp[id] = s.serial
+		s.blkNodes = append(s.blkNodes, id)
+	}
+}
+
+// blockLink records a link whose capacity rejected an expansion.
+//
+//rdl:noalloc
+func (s *searchScratch) blockLink(id int) {
+	if s.blkLinkStamp[id] != s.serial {
+		s.blkLinkStamp[id] = s.serial
+		s.blkLinks = append(s.blkLinks, id)
+	}
+}
+
+// blockTile records a tile where a crossing check rejected a chord.
+//
+//rdl:noalloc
+func (s *searchScratch) blockTile(key tileKey) {
+	if i := s.tileIndex(key); s.blkTileStamp[i] != s.serial {
+		s.blkTileStamp[i] = s.serial
+		s.blkTiles = append(s.blkTiles, key)
+	}
 }
 
 // push relaxes a state: admits it when it improves on the scoreboard and
 // appends it to the arena and open list.
 //
 //rdl:noalloc
-func (r *Router) push(key stateKey, g float64, parent, link int32) {
-	s := r.scr
-	slot := s.slot(key)
-	if s.bestGen[slot] == s.gen && s.bestG[slot] <= g {
+func (r *Router) push(sc *searchScratch, key stateKey, g float64, parent, link int32) {
+	slot := sc.slot(key)
+	if sc.bestGen[slot] == sc.gen && sc.bestG[slot] <= g {
 		return
 	}
-	s.bestGen[slot] = s.gen
-	s.bestG[slot] = g
-	f := g + r.G.Node(key.node).Pos.Dist(s.dstPos)
-	s.arena = append(s.arena, searchState{key: key, g: g, f: f, parent: parent, link: link})
-	s.open.Push(heapItem{f: f, idx: int32(len(s.arena) - 1)})
-	r.heapPushes++
+	sc.bestGen[slot] = sc.gen
+	sc.bestG[slot] = g
+	f := g + r.G.Node(key.node).Pos.Dist(sc.dstPos)
+	sc.arena = append(sc.arena, searchState{key: key, g: g, f: f, parent: parent, link: link})
+	sc.open.Push(heapItem{f: f, idx: int32(len(sc.arena) - 1)})
+	sc.heapPushes++
 }
 
-// route runs crossing-aware A* for one net and returns an uncommitted guide.
+// route runs crossing-aware A* for one net on the given scratch and returns
+// an uncommitted guide. It mutates only the scratch — router state is read
+// but never written — so searches on distinct scratches may run
+// concurrently as long as nothing commits meanwhile. On failure the
+// caller decides whether to fold the scratch's blocked set into the
+// round-level sets (noteSearchFailed); route itself no longer does.
 //
 //rdl:noalloc
-func (r *Router) route(net design.Net) (*searchResult, error) {
+func (r *Router) route(sc *searchScratch, net design.Net) (*searchResult, error) {
 	src, dst, err := r.G.NetPins(net)
 	if err != nil {
+		// Reset the scratch so the caller's counter/blocked-set fold sees
+		// an empty search rather than the previous search's leftovers.
+		sc.begin(geom.Point{})
 		return nil, err
 	}
-	s := r.scr
-	s.begin(r.G.Node(dst).Pos)
-	r.beginBlockRecording()
+	sc.begin(r.G.Node(dst).Pos)
 
-	r.push(stateKey{node: src, gap: -1}, 0, -1, -1)
+	r.push(sc, stateKey{node: src, gap: -1}, 0, -1, -1)
 
 	expanded := 0
-	for s.open.Len() > 0 {
-		si := s.open.Pop().idx
-		st := s.arena[si]
-		if st.g > s.bestG[s.slot(st.key)] {
+	for sc.open.Len() > 0 {
+		si := sc.open.Pop().idx
+		st := sc.arena[si]
+		if st.g > sc.bestG[sc.slot(st.key)] {
 			continue // stale heap entry
 		}
 		if st.key.node == dst {
-			res, ok := r.reconstruct(net.ID, si)
+			res, ok := r.reconstruct(sc, net.ID, si)
 			if ok {
 				return res, nil
 			}
 			continue // self-intersecting path; keep searching
 		}
 		expanded++
-		r.expansions++
+		sc.expansions++
 		if expanded > r.Opt.MaxExpansions {
 			break
 		}
 
 		node := r.G.Node(st.key.node)
 		if node.Kind == rgraph.ViaNode {
-			r.expandVia(st, si, net.ID)
+			r.expandVia(sc, st, si, net.ID)
 		} else {
-			r.expandEdge(st, si, net.ID, dst)
+			r.expandEdge(sc, st, si, net.ID, dst)
 		}
 	}
-	r.noteSearchFailed()
 	//rdl:allow noalloc failure path only: the error is built after the search is already lost, never per expansion
 	return nil, fmt.Errorf("net %d (%s): %w", net.ID, net.Name, ErrUnroutable)
 }
@@ -211,7 +372,7 @@ func (r *Router) route(net design.Net) (*searchResult, error) {
 // access-via link. The start pin may use anything available.
 //
 //rdl:noalloc
-func (r *Router) expandVia(st searchState, si int32, net int) {
+func (r *Router) expandVia(sc *searchScratch, st searchState, si int32, net int) {
 	arrivedCross := st.key.viaArrive
 	isStart := st.link == -1
 	for _, adj := range r.G.Adj[st.key.node] {
@@ -221,24 +382,27 @@ func (r *Router) expandVia(st searchState, si int32, net int) {
 			if !isStart && arrivedCross {
 				continue // no double layer hop through one via pair
 			}
+			sc.readLink(adj.Link)
 			if r.linkUse[adj.Link] >= link.Cap {
-				r.blockLink(adj.Link)
+				sc.blockLink(adj.Link)
 				continue
 			}
+			sc.readNode(adj.To)
 			if r.nodeUse[adj.To] >= r.nodeCap(adj.To) {
-				r.blockNode(adj.To)
+				sc.blockNode(adj.To)
 				continue
 			}
-			r.push(stateKey{node: adj.To, gap: -1, viaArrive: true}, st.g+link.Len, si, int32(adj.Link))
+			r.push(sc, stateKey{node: adj.To, gap: -1, viaArrive: true}, st.g+link.Len, si, int32(adj.Link))
 		case rgraph.AccessVia:
 			if !isStart && !arrivedCross {
 				continue // entered by wire; must take the via down/up
 			}
+			sc.readLink(adj.Link)
 			if r.linkUse[adj.Link] >= link.Cap {
-				r.blockLink(adj.Link)
+				sc.blockLink(adj.Link)
 				continue
 			}
-			r.pushChordToEdge(st, si, net, adj, link)
+			r.pushChordToEdge(sc, st, si, net, adj, link)
 		}
 	}
 }
@@ -247,11 +411,12 @@ func (r *Router) expandVia(st searchState, si int32, net int) {
 // access-via links, enumerating crossing-free insertion gaps.
 //
 //rdl:noalloc
-func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID) {
+func (r *Router) expandEdge(sc *searchScratch, st searchState, si int32, net int, dst rgraph.NodeID) {
 	for _, adj := range r.G.Adj[st.key.node] {
 		link := r.G.Link(adj.Link)
+		sc.readLink(adj.Link)
 		if r.linkUse[adj.Link] >= link.Cap {
-			r.blockLink(adj.Link)
+			sc.blockLink(adj.Link)
 			continue
 		}
 		tile := r.G.TileOf(link.Layer, link.Tile)
@@ -263,8 +428,9 @@ func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID
 		switch link.Kind {
 		case rgraph.AccessVia:
 			// adj.To is the via node (link.A is always the via end).
+			sc.readNode(adj.To)
 			if r.nodeUse[adj.To] >= r.nodeCap(adj.To) {
-				r.blockNode(adj.To)
+				sc.blockNode(adj.To)
 				continue
 			}
 			// Foreign pins are never intermediate hops.
@@ -276,19 +442,20 @@ func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID
 			if vOrd == -1 {
 				continue
 			}
-			if !r.chordAllowed(net, tile, from, vertexEnd(vOrd)) {
-				r.blockTile(tileKey{link.Layer, link.Tile})
+			if !r.chordAllowed(sc, net, tile, from, vertexEnd(vOrd)) {
+				sc.blockTile(tileKey{link.Layer, link.Tile})
 				continue
 			}
-			r.push(stateKey{node: adj.To, gap: -1, viaArrive: false}, st.g+link.Len, si, int32(adj.Link))
+			r.push(sc, stateKey{node: adj.To, gap: -1, viaArrive: false}, st.g+link.Len, si, int32(adj.Link))
 		case rgraph.CrossTile:
 			units := r.edgeUnits(net)
+			sc.readNode(adj.To)
 			if r.nodeUse[adj.To]+units > r.nodeCap(adj.To) {
-				r.blockNode(adj.To)
+				sc.blockNode(adj.To)
 				continue
 			}
 			if r.linkUse[adj.Link]+units > link.Cap {
-				r.blockLink(adj.Link)
+				sc.blockLink(adj.Link)
 				continue
 			}
 			toOrd := edgeOrdinal(tile, adj.To)
@@ -296,14 +463,14 @@ func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID
 				continue
 			}
 			m := len(r.seqs[adj.To])
-			r.pcBuf = r.passageCoords(net, tile, r.pcBuf)
-			q1 := r.coord(tile, from)
+			r.passageCoords(sc, net, tile)
+			q1 := r.coord(sc, tile, from)
 			for g2 := 0; g2 <= m; g2++ {
-				if !chordAllowedCoords(q1, r.coord(tile, gapEnd(toOrd, g2)), r.pcBuf) {
-					r.blockTile(tileKey{link.Layer, link.Tile})
+				if !chordAllowedCoords(q1, r.coord(sc, tile, gapEnd(toOrd, g2)), sc.pcBuf) {
+					sc.blockTile(tileKey{link.Layer, link.Tile})
 					continue
 				}
-				r.push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, int32(adj.Link))
+				r.push(sc, stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, int32(adj.Link))
 			}
 		}
 	}
@@ -313,10 +480,11 @@ func (r *Router) expandEdge(st searchState, si int32, net int, dst rgraph.NodeID
 // trying every crossing-free insertion gap.
 //
 //rdl:noalloc
-func (r *Router) pushChordToEdge(st searchState, si int32, net int,
+func (r *Router) pushChordToEdge(sc *searchScratch, st searchState, si int32, net int,
 	adj rgraph.Adjacent, link *rgraph.Link) {
+	sc.readNode(adj.To)
 	if r.nodeUse[adj.To]+r.edgeUnits(net) > r.nodeCap(adj.To) {
-		r.blockNode(adj.To)
+		sc.blockNode(adj.To)
 		return
 	}
 	tile := r.G.TileOf(link.Layer, link.Tile)
@@ -326,14 +494,14 @@ func (r *Router) pushChordToEdge(st searchState, si int32, net int,
 		return
 	}
 	m := len(r.seqs[adj.To])
-	r.pcBuf = r.passageCoords(net, tile, r.pcBuf)
-	q1 := r.coord(tile, vertexEnd(vOrd))
+	r.passageCoords(sc, net, tile)
+	q1 := r.coord(sc, tile, vertexEnd(vOrd))
 	for g2 := 0; g2 <= m; g2++ {
-		if !chordAllowedCoords(q1, r.coord(tile, gapEnd(eOrd, g2)), r.pcBuf) {
-			r.blockTile(tileKey{link.Layer, link.Tile})
+		if !chordAllowedCoords(q1, r.coord(sc, tile, gapEnd(eOrd, g2)), sc.pcBuf) {
+			sc.blockTile(tileKey{link.Layer, link.Tile})
 			continue
 		}
-		r.push(stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, int32(adj.Link))
+		r.push(sc, stateKey{node: adj.To, gap: int16(g2)}, st.g+link.Len, si, int32(adj.Link))
 	}
 }
 
@@ -343,9 +511,8 @@ func (r *Router) pushChordToEdge(st searchState, si int32, net int,
 // seen stamps instead of allocating a map per call.
 //
 //rdl:noalloc
-func (r *Router) reconstruct(net int, goal int32) (*searchResult, bool) {
-	s := r.scr
-	arena := s.arena
+func (r *Router) reconstruct(sc *searchScratch, net int, goal int32) (*searchResult, bool) {
+	arena := sc.arena
 	n := 0
 	for i := goal; i != -1; i = arena[i].parent {
 		n++
@@ -354,26 +521,26 @@ func (r *Router) reconstruct(net int, goal int32) (*searchResult, bool) {
 	nodes := make([]rgraph.NodeID, n)
 	//rdl:allow noalloc the result path is budget alloc 2 of 4: commit keeps links in the Guide, so they cannot alias scratch
 	links := make([]int, n-1)
-	if cap(s.gapsBuf) < n {
+	if cap(sc.gapsBuf) < n {
 		//rdl:allow noalloc gapsBuf growth is amortized: it reallocates only while the longest path seen keeps growing
-		s.gapsBuf = make([]int, n)
+		sc.gapsBuf = make([]int, n)
 	}
-	gaps := s.gapsBuf[:n]
+	gaps := sc.gapsBuf[:n]
 
-	s.seenGen++
-	if s.seenGen == 0 {
-		for i := range s.seen {
-			s.seen[i] = 0
+	sc.seenGen++
+	if sc.seenGen == 0 {
+		for i := range sc.seen {
+			sc.seen[i] = 0
 		}
-		s.seenGen = 1
+		sc.seenGen = 1
 	}
 	k := n - 1
 	for i := goal; i != -1; i = arena[i].parent {
 		st := &arena[i]
-		if s.seen[st.key.node] == s.seenGen {
+		if sc.seen[st.key.node] == sc.seenGen {
 			return nil, false
 		}
-		s.seen[st.key.node] = s.seenGen
+		sc.seen[st.key.node] = sc.seenGen
 		nodes[k] = st.key.node
 		gaps[k] = int(st.key.gap)
 		if st.link != -1 {

@@ -229,7 +229,7 @@ func TestRouteSearchDoesNotAllocate(t *testing.T) {
 	r := buildRouter(t, "dense1", rgraph.Options{}, Options{})
 	net := r.G.Design.Nets[0]
 	// Warm-up: grows arena, heap and gap buffers to steady state.
-	g, err := r.route(net)
+	g, err := r.route(r.scr, net)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestRouteSearchDoesNotAllocate(t *testing.T) {
 	r.ripUp(r.guides[g.net])
 
 	allocs := testing.AllocsPerRun(50, func() {
-		g, err := r.route(net)
+		g, err := r.route(r.scr, net)
 		if err != nil {
 			t.Fatal(err)
 		}

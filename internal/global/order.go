@@ -3,7 +3,6 @@ package global
 import (
 	"context"
 	"math"
-	"runtime"
 	"sort"
 
 	"rdlroute/internal/geom"
@@ -58,15 +57,13 @@ func (r *Router) initialOrder(ctx context.Context) []int {
 			return struct{}{}
 		})
 	}
-	pool.Run(units, runtime.GOMAXPROCS(0))
+	pool.Run(units, r.Opt.parallelism())
 
-	// RUDY accumulation.
+	// RUDY accumulation. The per-net tile footprints also persist on the
+	// router (predTiles): the speculative round driver partitions nets into
+	// interference groups by which standalone seed paths share tiles.
 	density := make(map[tileKey]float64)
 	area := make(map[tileKey]float64)
-	type netGuide struct {
-		tiles []tileKey
-	}
-	guides := make([]netGuide, n)
 	pitch := r.G.Design.Rules.Pitch()
 	for ni := range r.G.Design.Nets {
 		path := paths[ni]
@@ -84,13 +81,13 @@ func (r *Router) initialOrder(ctx context.Context) []int {
 			}
 			chord := r.G.Node(path.nodes[i]).Pos.Dist(r.G.Node(path.nodes[i+1]).Pos)
 			density[key] += chord * pitch / area[key]
-			guides[ni].tiles = append(guides[ni].tiles, key)
+			r.predTiles[ni] = append(r.predTiles[ni], key)
 		}
 	}
 
 	congested := make([]int, n)
-	for ni := range guides {
-		for _, key := range guides[ni].tiles {
+	for ni := range r.predTiles {
+		for _, key := range r.predTiles[ni] {
 			if density[key] > r.Opt.CongestionThreshold {
 				congested[ni]++
 			}

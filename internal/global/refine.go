@@ -75,7 +75,9 @@ func (r *Router) refineDiagonal(ctx context.Context) int {
 			r.ripUp(r.guides[ni])
 		}
 		for _, ni := range victims {
-			sr, err := r.route(r.G.Design.Nets[ni])
+			sr, err := r.route(r.scr, r.G.Design.Nets[ni])
+			r.expansions += r.scr.expansions
+			r.heapPushes += r.scr.heapPushes
 			if err != nil {
 				continue // stays unrouted; reported by the caller
 			}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
 	"rdlroute/internal/rgraph"
 )
 
@@ -61,8 +62,16 @@ type Options struct {
 	// AfterEachNet, when non-nil, runs after every successfully committed
 	// net with that net's ID. The AARF* baseline re-triangulates every
 	// layer here, paying the per-net mesh-rebuild cost the original
-	// algorithm incurs.
+	// algorithm incurs. Setting it forces the serial routing path: the
+	// callback may mutate state the speculative searches read.
 	AfterEachNet func(net int)
+	// Parallelism is the worker-pool size shared by the ordering seeds and
+	// the speculative multi-net search stage. Zero selects GOMAXPROCS
+	// capped at 8 (pool.Default); 1 selects the serial reference path.
+	// Output is byte-identical for every value: speculative results only
+	// commit after read-set validation proves the serial search would have
+	// produced them.
+	Parallelism int
 	// Rec receives stage spans, counters and the per-net progress stream.
 	// Nil selects the no-op recorder. Cancellation is the context passed
 	// to Run (the paper's 1-hour wall-clock cutoff becomes a deadline).
@@ -85,6 +94,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// parallelism resolves the Parallelism knob through the pipeline's shared
+// zero-means-auto convention.
+func (o Options) parallelism() int { return pool.Default(o.Parallelism) }
+
 // Result is the outcome of global routing.
 type Result struct {
 	// Guides holds one guide per net ID; nil entries are unrouted nets.
@@ -102,8 +115,22 @@ type Result struct {
 	// DiagonalReductions counts edge-node capacity reductions performed by
 	// diagonal utility refinement.
 	DiagonalReductions int
-	// Expansions counts total A* state expansions.
+	// Expansions counts total A* state expansions credited to the
+	// committed result — identical to the serial count for any
+	// Parallelism, because speculative searches only contribute here when
+	// validation proves them byte-identical to the serial search.
 	Expansions int
+	// SpeculationHits counts speculative searches whose read set survived
+	// validation at their net's canonical turn (committed or accepted as
+	// failures without re-searching).
+	SpeculationHits int
+	// SpeculationMisses counts speculative searches discarded because an
+	// earlier commit touched a resource they read; each miss was
+	// re-searched serially.
+	SpeculationMisses int
+	// WastedExpansions counts A* expansions spent on discarded speculative
+	// searches. Not included in Expansions.
+	WastedExpansions int
 }
 
 // Routability returns the fraction of nets routed, in [0, 1].
@@ -143,44 +170,54 @@ type Router struct {
 	heapPushes int
 	ripUps     int
 	kept       int
-	// pcBuf is a scratch buffer for resolved passage coordinates, reused
-	// across search expansions.
-	pcBuf []chordCoords
-	// scr owns the A* scratch buffers (scoreboard, arena, open list); the
-	// serial search loop reuses them across every route call.
+	// scr is the canonical A* scratch: the serial reference loop and every
+	// non-speculative reroute (discarded speculations, diagonal
+	// refinement) reuse it across route calls. Worker-owned scratches for
+	// the speculative stage live in specScr.
 	scr *searchScratch
 
-	// Change clock: advances on every commit and rip-up; nodeStamp and
-	// linkStamp record the last tick that changed a resource's usage or
-	// sequence list. Diagonal refinement uses them to rescan only the mesh
-	// edges whose inputs changed since they were last proven clean
-	// (diagCheckedAt, indexed by edge node).
+	// Change clock: advances on every commit and rip-up; nodeStamp,
+	// linkStamp and tileStamp record the last tick that changed a
+	// resource's usage, sequence list or passage list. Diagonal refinement
+	// uses the node stamps to rescan only the mesh edges whose inputs
+	// changed since they were last proven clean (diagCheckedAt, indexed by
+	// edge node); the speculative commit path compares the stamps of a
+	// speculation's read set against the batch snapshot. tileStamp is
+	// dense, indexed by tileBase[layer]+tri.
 	clock         int64
 	nodeStamp     []int64
 	linkStamp     []int64
+	tileBase      []int32
+	tileStamp     []int64
 	diagCheckedAt []int64
 
-	// Blocked-resource recording: every search stamps the nodes, links and
-	// tiles where a capacity or crossing check rejected an expansion; when
-	// the search fails, those resources are folded into the round-level
-	// blocked sets. At the next round boundary the failed nets' blockers
-	// seed the dirty computation alongside the disturbed guides — the nets
+	// Round-level blocked sets: every search records the nodes, links and
+	// tiles where a capacity or crossing check rejected an expansion (in
+	// its scratch); when the search fails, those resources are folded
+	// here. At the next round boundary the failed nets' blockers seed the
+	// dirty computation alongside the disturbed guides — the nets
 	// occupying a blocker committed before the failure, so the stamp test
 	// alone would never select them.
-	searchSerial  int64
-	blkNodeStamp  []int64
-	blkLinkStamp  []int64
-	blkTileStamp  map[tileKey]int64
-	blkNodes      []rgraph.NodeID
-	blkLinks      []int
-	blkTiles      []tileKey
 	roundBlkNodes map[rgraph.NodeID]struct{}
 	roundBlkLinks map[int]struct{}
 	roundBlkTiles map[tileKey]struct{}
+
+	// Speculative-routing state: predTiles holds each net's predicted tile
+	// footprint (its standalone ordering-seed path), specGroup the
+	// union-find interference group built from those footprints, specScr
+	// the lazily created per-worker scratches, and the counters feed
+	// Result and the obs ledger.
+	predTiles  [][]tileKey
+	specGroup  []int32
+	specScr    []*searchScratch
+	specHits   int
+	specMisses int
+	specWasted int
 }
 
 // New creates a router over the graph.
 func New(g *rgraph.Graph, opt Options) *Router {
+	tb := graphTileBase(g)
 	r := &Router{
 		G:             g,
 		Opt:           opt.withDefaults(),
@@ -194,14 +231,15 @@ func New(g *rgraph.Graph, opt Options) *Router {
 		scr:           newSearchScratch(g),
 		nodeStamp:     make([]int64, len(g.Nodes)),
 		linkStamp:     make([]int64, len(g.Links)),
+		tileBase:      tb,
+		tileStamp:     make([]int64, tb[len(g.Layers)]),
 		diagCheckedAt: make([]int64, len(g.Nodes)),
 
-		blkNodeStamp:  make([]int64, len(g.Nodes)),
-		blkLinkStamp:  make([]int64, len(g.Links)),
-		blkTileStamp:  make(map[tileKey]int64),
 		roundBlkNodes: make(map[rgraph.NodeID]struct{}),
 		roundBlkLinks: make(map[int]struct{}),
 		roundBlkTiles: make(map[tileKey]struct{}),
+
+		predTiles: make([][]tileKey, len(g.Design.Nets)),
 	}
 	// Pre-size the sequence lists from edge capacity: a sequence entry
 	// consumes at least one capacity unit, so Cap bounds the list length
@@ -258,32 +296,24 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 	res := &Result{}
 	astarSpan := obs.StartSpan(r.rec, "global.astar")
 	progress := r.rec.Enabled()
+	// The speculative driver needs the interference groups and a worker
+	// pool; AfterEachNet forces the serial path because the callback may
+	// mutate state concurrent searches read (the AARF* baseline
+	// re-triangulates layers in it).
+	workers := r.Opt.parallelism()
+	speculate := workers > 1 && r.Opt.AfterEachNet == nil
+	if speculate {
+		r.buildSpecGroups()
+	}
 	var lastFailed []int
 	for round := 0; round < r.Opt.MaxOrderRounds; round++ {
 		res.OrderRounds = round + 1
 		lastFailed = lastFailed[:0]
-		stopped := false
-		for _, ni := range order {
-			if obs.Stopped(ctx) {
-				stopped = true
-				break
-			}
-			if r.guides[ni] != nil {
-				continue
-			}
-			g, err := r.route(nets[ni])
-			if err != nil {
-				failCount[ni]++
-				lastFailed = append(lastFailed, ni)
-				continue
-			}
-			r.commit(g)
-			if r.Opt.AfterEachNet != nil {
-				r.Opt.AfterEachNet(ni)
-			}
-			if progress {
-				r.rec.Progress("global", r.routedCount(), len(nets))
-			}
+		var stopped bool
+		if speculate {
+			stopped = r.routeRoundSpec(ctx, order, failCount, &lastFailed, progress, workers)
+		} else {
+			stopped = r.routeRoundSerial(ctx, order, failCount, &lastFailed, progress)
 		}
 		done := stopped || len(lastFailed) == 0 ||
 			round == r.Opt.MaxOrderRounds-1 // keep partial result; no rip-up on the last round
@@ -331,6 +361,9 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 	res.Expansions = r.expansions
 	res.RipUps = r.ripUps
 	res.KeptGuides = r.kept
+	res.SpeculationHits = r.specHits
+	res.SpeculationMisses = r.specMisses
+	res.WastedExpansions = r.specWasted
 
 	r.rec.Count("global.astar.expansions", int64(r.expansions))
 	r.rec.Count("global.kept_guides", int64(r.kept))
@@ -340,6 +373,11 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 	r.rec.Count("global.refine.reductions", int64(res.DiagonalReductions))
 	r.rec.Count("global.nets_routed", int64(len(res.Guides)-len(res.FailedNets)))
 	r.rec.Count("global.nets_failed", int64(len(res.FailedNets)))
+	if speculate {
+		r.rec.Count("global.spec.hits", int64(r.specHits))
+		r.rec.Count("global.spec.misses", int64(r.specMisses))
+		r.rec.Count("global.spec.wasted_expansions", int64(r.specWasted))
+	}
 
 	if obs.Stopped(ctx) {
 		return res, ctx.Err()
@@ -349,6 +387,45 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 
 // routedCount returns how many nets currently hold a committed guide.
 func (r *Router) routedCount() int { return r.routed }
+
+// routeRoundSerial routes one ordering round on the canonical scratch: the
+// serial reference the speculative driver must reproduce byte-for-byte.
+func (r *Router) routeRoundSerial(ctx context.Context, order, failCount []int,
+	lastFailed *[]int, progress bool) (stopped bool) {
+	for _, ni := range order {
+		if obs.Stopped(ctx) {
+			return true
+		}
+		if r.guides[ni] != nil {
+			continue
+		}
+		r.routeOne(ni, failCount, lastFailed, progress)
+	}
+	return false
+}
+
+// routeOne is the canonical per-net step shared by the serial round loop
+// and the speculative driver's miss path: search on the canonical scratch,
+// fold the work counters, then commit or record the failure.
+func (r *Router) routeOne(ni int, failCount []int, lastFailed *[]int, progress bool) {
+	nets := r.G.Design.Nets
+	g, err := r.route(r.scr, nets[ni])
+	r.expansions += r.scr.expansions
+	r.heapPushes += r.scr.heapPushes
+	if err != nil {
+		r.noteSearchFailed(r.scr)
+		failCount[ni]++
+		*lastFailed = append(*lastFailed, ni)
+		return
+	}
+	r.commit(g)
+	if r.Opt.AfterEachNet != nil {
+		r.Opt.AfterEachNet(ni)
+	}
+	if progress {
+		r.rec.Progress("global", r.routed, len(nets))
+	}
+}
 
 // commit installs a found guide: bumps usage, inserts sequence positions,
 // and records tile passages. It advances the change clock and stamps every
@@ -387,7 +464,8 @@ func (r *Router) commit(g *searchResult) {
 			r.linkUse[l]++
 		}
 	}
-	// Record passages per tile for crossing checks.
+	// Record passages per tile for crossing checks, stamping each touched
+	// tile's passage list as changed.
 	for i, l := range g.links {
 		link := r.G.Link(l)
 		if link.Kind == rgraph.CrossVia {
@@ -398,6 +476,7 @@ func (r *Router) commit(g *searchResult) {
 		p.e1 = r.passageEndFor(tile, g.nodes[i])
 		p.e2 = r.passageEndFor(tile, g.nodes[i+1])
 		key := tileKey{link.Layer, link.Tile}
+		r.tileStamp[r.tileBase[key.layer]+int32(key.tri)] = r.clock
 		r.passages[key] = append(r.passages[key], p)
 	}
 	r.guides[g.net] = guide
@@ -449,6 +528,7 @@ func (r *Router) ripUp(guide *Guide) {
 			continue
 		}
 		key := tileKey{link.Layer, link.Tile}
+		r.tileStamp[r.tileBase[key.layer]+int32(key.tri)] = r.clock
 		ps := r.passages[key]
 		for j := range ps {
 			if ps[j].net == guide.Net {
@@ -462,55 +542,24 @@ func (r *Router) ripUp(guide *Guide) {
 	r.ripUps++
 }
 
-// blockNode records a node whose capacity rejected an expansion of the
-// search in flight (deduplicated per search by stamp).
-//
-//rdl:noalloc
-func (r *Router) blockNode(id rgraph.NodeID) {
-	if r.blkNodeStamp[id] != r.searchSerial {
-		r.blkNodeStamp[id] = r.searchSerial
-		r.blkNodes = append(r.blkNodes, id)
-	}
-}
-
-// blockLink records a link whose capacity rejected an expansion.
-//
-//rdl:noalloc
-func (r *Router) blockLink(id int) {
-	if r.blkLinkStamp[id] != r.searchSerial {
-		r.blkLinkStamp[id] = r.searchSerial
-		r.blkLinks = append(r.blkLinks, id)
-	}
-}
-
-// blockTile records a tile where a crossing check rejected a chord.
-//
-//rdl:noalloc
-func (r *Router) blockTile(key tileKey) {
-	if r.blkTileStamp[key] != r.searchSerial {
-		r.blkTileStamp[key] = r.searchSerial
-		r.blkTiles = append(r.blkTiles, key)
-	}
-}
-
-// beginBlockRecording resets the per-search blocked lists.
-func (r *Router) beginBlockRecording() {
-	r.searchSerial++
-	r.blkNodes = r.blkNodes[:0]
-	r.blkLinks = r.blkLinks[:0]
-	r.blkTiles = r.blkTiles[:0]
-}
-
 // noteSearchFailed folds the failed search's blocked resources into the
 // round-level sets consumed at the next boundary.
-func (r *Router) noteSearchFailed() {
-	for _, id := range r.blkNodes {
+func (r *Router) noteSearchFailed(sc *searchScratch) {
+	r.foldBlocked(sc.blkNodes, sc.blkLinks, sc.blkTiles)
+}
+
+// foldBlocked merges one failed search's blocked resources into the
+// round-level sets. The speculative driver calls it with the copied sets of
+// a validated speculative failure, which by the validation argument are
+// exactly what the serial search would have recorded.
+func (r *Router) foldBlocked(nodes []rgraph.NodeID, links []int, tiles []tileKey) {
+	for _, id := range nodes {
 		r.roundBlkNodes[id] = struct{}{}
 	}
-	for _, l := range r.blkLinks {
+	for _, l := range links {
 		r.roundBlkLinks[l] = struct{}{}
 	}
-	for _, key := range r.blkTiles {
+	for _, key := range tiles {
 		r.roundBlkTiles[key] = struct{}{}
 	}
 }

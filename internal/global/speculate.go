@@ -1,0 +1,281 @@
+package global
+
+import (
+	"context"
+
+	"rdlroute/internal/obs"
+	"rdlroute/internal/pool"
+	"rdlroute/internal/rgraph"
+)
+
+// Speculative parallel multi-net routing.
+//
+// The round loop commits nets strictly in order — the net order is the
+// algorithm's highest-leverage variable, so parallelism must not perturb
+// it. Instead of reordering, the driver speculates: it takes a window of
+// upcoming nets predicted not to interfere, runs their A* searches
+// concurrently on worker-owned scratches against the frozen router state,
+// and then walks the window in canonical order deciding each net's fate at
+// its own turn.
+//
+// Correctness rests on read-set validation, not on the interference
+// prediction. Every search records the mutable resources it consulted —
+// node usage and sequence lists, link usage, tile passage lists — in its
+// scratch read set. A search is a deterministic function of those reads:
+// if none of them changed between the batch snapshot and the net's
+// canonical turn, the speculative result (success or failure, including
+// the recorded blocked set) is byte-for-byte what a serial search at that
+// turn would have produced, so it is committed (or its failure folded)
+// directly. If any read resource was touched by an earlier commit, the
+// speculation is discarded and the net re-searched serially on the
+// canonical scratch. By induction over commits the committed state after
+// every net equals the serial state, for any worker count.
+//
+// The interference groups only size the window: nets whose standalone
+// ordering-seed paths (predTiles, captured during RUDY ordering) share a
+// tile are grouped by union-find, and a window never holds two nets of one
+// group. A good prediction raises the hit rate; a wrong one costs a
+// discarded search, never a wrong result.
+
+// specWindowFactor scales the speculation window: up to workers ×
+// specWindowFactor nets search per batch. Deeper windows amortize the pool
+// barrier but speculate further ahead of the committed state, where
+// validation failures grow likelier.
+const specWindowFactor = 4
+
+// specOutcome is one speculative search plus everything the canonical turn
+// needs: the copied read set to validate against, the copied blocked set to
+// fold on a validated failure, and the work counters to credit on a hit or
+// write off on a miss. Slices are freshly copied out of the worker scratch
+// — the scratch's own lists are overwritten by the worker's next search.
+type specOutcome struct {
+	ni  int
+	res *searchResult // nil when the speculative search failed
+
+	expansions int
+	heapPushes int
+
+	rdNodes []rgraph.NodeID
+	rdLinks []int
+	rdTiles []tileKey
+
+	blkNodes []rgraph.NodeID
+	blkLinks []int
+	blkTiles []tileKey
+}
+
+// buildSpecGroups unions nets whose predicted tile footprints overlap and
+// stores each net's group root in specGroup. Nets without a seed path
+// (standalone route failed, or RUDY ordering disabled) keep singleton
+// groups: the prediction is only a scheduling heuristic, and validation
+// catches any real conflict.
+func (r *Router) buildSpecGroups() {
+	n := len(r.guides)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	owner := make([]int32, r.tileBase[len(r.G.Layers)])
+	for i := range owner {
+		owner[i] = -1
+	}
+	for ni, tiles := range r.predTiles {
+		for _, key := range tiles {
+			ti := r.tileBase[key.layer] + int32(key.tri)
+			if owner[ti] < 0 {
+				owner[ti] = int32(ni)
+				continue
+			}
+			ra, rb := find(int32(ni)), find(owner[ti])
+			if ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	r.specGroup = make([]int32, n)
+	for i := range r.specGroup {
+		r.specGroup[i] = find(int32(i))
+	}
+}
+
+// nextSpecWindow collects the longest run of pending nets starting at
+// order[start] whose interference groups are pairwise distinct, up to max
+// nets. It cuts *before* the first group clash rather than skipping past
+// it: the window must stay a contiguous prefix of the pending order so
+// that committing its nets front-to-back is exactly the serial commit
+// order. Returns the window (appended to win) and the order index to
+// resume scanning from.
+func (r *Router) nextSpecWindow(order []int, start, max int, win []int) ([]int, int) {
+	j := start
+	for ; j < len(order) && len(win) < max; j++ {
+		ni := order[j]
+		if r.guides[ni] != nil {
+			continue
+		}
+		g := r.specGroup[ni]
+		clash := false
+		for _, w := range win {
+			if r.specGroup[w] == g {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			break
+		}
+		win = append(win, ni)
+	}
+	return win, j
+}
+
+// specSearch runs one speculative search on a worker scratch and snapshots
+// everything its canonical turn will need. Read-only with respect to the
+// router: all mutation lands in the scratch, so searches on distinct
+// scratches race-free share the frozen router state.
+func (r *Router) specSearch(sc *searchScratch, ni int) specOutcome {
+	g, err := r.route(sc, r.G.Design.Nets[ni])
+	out := specOutcome{
+		ni:         ni,
+		expansions: sc.expansions,
+		heapPushes: sc.heapPushes,
+		rdNodes:    append([]rgraph.NodeID(nil), sc.rdNodes...),
+		rdLinks:    append([]int(nil), sc.rdLinks...),
+		rdTiles:    append([]tileKey(nil), sc.rdTiles...),
+	}
+	if err != nil {
+		out.blkNodes = append([]rgraph.NodeID(nil), sc.blkNodes...)
+		out.blkLinks = append([]int(nil), sc.blkLinks...)
+		out.blkTiles = append([]tileKey(nil), sc.blkTiles...)
+		return out
+	}
+	// The gaps slice aliases the scratch; the worker's next search would
+	// overwrite it before the canonical turn reads it.
+	g.gaps = append([]int(nil), g.gaps...)
+	out.res = g
+	return out
+}
+
+// specSearchWindow fans the window out over the worker pool in contiguous
+// chunks — one scratch per chunk, nets within a chunk searched in order —
+// and returns the outcomes in window order.
+func (r *Router) specSearchWindow(win []int, workers int) []specOutcome {
+	chunks := workers
+	if chunks > len(win) {
+		chunks = len(win)
+	}
+	for len(r.specScr) < chunks {
+		r.specScr = append(r.specScr, newSearchScratch(r.G))
+	}
+	units := make([]func() []specOutcome, chunks)
+	quo, rem := len(win)/chunks, len(win)%chunks
+	lo := 0
+	for c := 0; c < chunks; c++ {
+		hi := lo + quo
+		if c < rem {
+			hi++
+		}
+		part, sc := win[lo:hi], r.specScr[c]
+		units[c] = func() []specOutcome {
+			outs := make([]specOutcome, 0, len(part))
+			for _, ni := range part {
+				outs = append(outs, r.specSearch(sc, ni))
+			}
+			return outs
+		}
+		lo = hi
+	}
+	parts := pool.Run(units, workers)
+	outs := make([]specOutcome, 0, len(win))
+	for _, p := range parts {
+		outs = append(outs, p...)
+	}
+	return outs
+}
+
+// specValid reports whether an outcome's read set is untouched since the
+// batch snapshot: every commit and rip-up stamps the resources it changes
+// with the advancing change clock, so any stamp past snap means a resource
+// this search consulted no longer holds the value it saw.
+func (r *Router) specValid(o *specOutcome, snap int64) bool {
+	for _, id := range o.rdNodes {
+		if r.nodeStamp[id] > snap {
+			return false
+		}
+	}
+	for _, l := range o.rdLinks {
+		if r.linkStamp[l] > snap {
+			return false
+		}
+	}
+	for _, key := range o.rdTiles {
+		if r.tileStamp[r.tileBase[key.layer]+int32(key.tri)] > snap {
+			return false
+		}
+	}
+	return true
+}
+
+// routeRoundSpec routes one ordering round speculatively. Identical
+// observable behaviour to routeRoundSerial — committed guides, sequence
+// lists, failure bookkeeping, blocked sets and work counters — with the
+// searches of each window overlapped on the worker pool.
+func (r *Router) routeRoundSpec(ctx context.Context, order, failCount []int,
+	lastFailed *[]int, progress bool, workers int) (stopped bool) {
+	win := make([]int, 0, workers*specWindowFactor)
+	for i := 0; i < len(order); {
+		if obs.Stopped(ctx) {
+			return true
+		}
+		var next int
+		win, next = r.nextSpecWindow(order, i, workers*specWindowFactor, win[:0])
+		i = next
+		if len(win) == 0 {
+			continue // span held only already-routed nets
+		}
+		if len(win) == 1 {
+			r.routeOne(win[0], failCount, lastFailed, progress)
+			continue
+		}
+		snap := r.clock
+		outs := r.specSearchWindow(win, workers)
+		for k := range outs {
+			if obs.Stopped(ctx) {
+				return true
+			}
+			o := &outs[k]
+			if !r.specValid(o, snap) {
+				// An earlier commit touched this search's reads: the
+				// speculation may diverge from serial, so discard it and
+				// re-search at the canonical turn.
+				r.specMisses++
+				r.specWasted += o.expansions
+				r.routeOne(o.ni, failCount, lastFailed, progress)
+				continue
+			}
+			r.specHits++
+			r.expansions += o.expansions
+			r.heapPushes += o.heapPushes
+			if o.res == nil {
+				// Validated failure: the serial search would have explored
+				// the identical states and failed with the identical
+				// blocked set.
+				r.foldBlocked(o.blkNodes, o.blkLinks, o.blkTiles)
+				failCount[o.ni]++
+				*lastFailed = append(*lastFailed, o.ni)
+				continue
+			}
+			r.commit(o.res)
+			if progress {
+				r.rec.Progress("global", r.routed, len(r.G.Design.Nets))
+			}
+		}
+	}
+	return false
+}

@@ -13,9 +13,28 @@
 package pool
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// Default resolves a requested worker count to the pipeline's shared
+// convention: a positive request is taken as-is, anything else selects
+// GOMAXPROCS capped at 8 (routing stages are CPU-bound and stop scaling
+// well past that). Every stage that exposes a Workers/Parallelism knob —
+// detail routing, DRC, the verify gate and the global router's
+// speculative multi-net stage — resolves it through this one function, so
+// "zero means auto" cannot drift between stages again.
+func Default(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
 
 // Run executes the units on a pool of the given size and returns their
 // results indexed by unit.

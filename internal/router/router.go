@@ -33,6 +33,15 @@ type Options struct {
 	Graph  rgraph.Options
 	Global global.Options
 	Detail detail.Options
+	// Parallelism is the pipeline's one concurrency knob: it sizes the
+	// worker pools of global routing (speculative multi-net search and
+	// ordering seeds), detailed routing, the DRC stage and the
+	// verification gate. Zero selects GOMAXPROCS capped at 8; 1 forces the
+	// serial reference path everywhere. Results are byte-identical for
+	// every value. A stage-level override (Global.Parallelism,
+	// Detail.Workers) or the deprecated VerifyWorkers alias wins over this
+	// knob for its own stage when non-zero.
+	Parallelism int
 	// TimeBudget aborts routing when exceeded (the paper caps every run at
 	// one hour and reports the best result so far). Zero means no limit.
 	// The budget is enforced as a context deadline with ErrTimeout as its
@@ -48,9 +57,22 @@ type Options struct {
 	// finds problems.
 	Verify VerifyMode
 	// VerifyWorkers sizes the worker pool of the DRC stage and the
-	// verification gate. Zero selects GOMAXPROCS capped at 8; 1 forces the
-	// serial reference path.
+	// verification gate.
+	//
+	// Deprecated: use Parallelism, which covers every stage. VerifyWorkers
+	// is kept as a working alias for the DRC/verify stages and wins over
+	// Parallelism there when non-zero.
 	VerifyWorkers int
+}
+
+// verifyWorkers resolves the DRC/verify pool size: the deprecated
+// stage-level alias when set, else the unified knob (zero falls through to
+// the stages' own GOMAXPROCS-capped-at-8 default).
+func (o Options) verifyWorkers() int {
+	if o.VerifyWorkers != 0 {
+		return o.VerifyWorkers
+	}
+	return o.Parallelism
 }
 
 // Metrics summarizes one routing run in the form the paper's tables report.
@@ -136,6 +158,9 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	if gopt.Rec == nil {
 		gopt.Rec = rec
 	}
+	if gopt.Parallelism == 0 {
+		gopt.Parallelism = opt.Parallelism
+	}
 	gr := global.New(g, gopt)
 	gres, gerr := gr.Run(ctx)
 	if gres == nil {
@@ -146,6 +171,9 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	if dopt.Rec == nil {
 		dopt.Rec = rec
 	}
+	if dopt.Workers == 0 {
+		dopt.Workers = opt.Parallelism
+	}
 	dres, err := detail.Run(ctx, gr, gres, dopt)
 	if err != nil {
 		return nil, fmt.Errorf("router: detailed routing: %w", err)
@@ -153,7 +181,7 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 
 	span = obs.StartSpan(rec, "drc")
 	violations := detail.CheckDRCParallel(dres.Routes, d, detail.DRCOptions{
-		Workers: opt.VerifyWorkers, Rec: rec,
+		Workers: opt.verifyWorkers(), Rec: rec,
 	})
 	span.End()
 	if rec.Enabled() {
@@ -162,7 +190,7 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 
 	// Verification gate: the independent verifier re-checks the result,
 	// reusing the violations above so wire rules are not checked twice.
-	report := runGate(d, dres.Routes, violations, opt.Verify, opt.VerifyWorkers, rec)
+	report := runGate(d, dres.Routes, violations, opt.Verify, opt.verifyWorkers(), rec)
 
 	out := &Output{
 		Design:       d,

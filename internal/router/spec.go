@@ -36,6 +36,13 @@ type OptionsSpec struct {
 	// identity: a gated Output carries the verifier's report, an ungated
 	// one does not.
 	Verify VerifyMode `json:"verify"`
+	// Parallelism is Options.Parallelism, the pipeline's one concurrency
+	// knob (zero = GOMAXPROCS capped at 8, 1 = serial). Results are
+	// byte-identical for every value, but the field stays in the wire view
+	// so jobs can pin their worker budget; omitempty keeps the canonical
+	// bytes — and therefore every existing cache key — unchanged when the
+	// knob is unset.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Validate checks the spec's enumerated fields and normalizes aliases (the
@@ -48,6 +55,9 @@ func (s *OptionsSpec) Validate() error {
 		return err
 	}
 	s.Verify = mode
+	if s.Parallelism < 0 {
+		return fmt.Errorf("router: parallelism must be >= 0, got %d", s.Parallelism)
+	}
 	return nil
 }
 
@@ -117,6 +127,7 @@ func (o Options) Spec() OptionsSpec {
 		},
 		TimeBudgetMS: o.TimeBudget.Milliseconds(),
 		Verify:       o.Verify,
+		Parallelism:  o.Parallelism,
 	}
 }
 
@@ -149,8 +160,9 @@ func (s OptionsSpec) Options() Options {
 			Retries:     s.Detail.Retries,
 			SkipAdjust:  s.Detail.SkipAdjust,
 		},
-		TimeBudget: time.Duration(s.TimeBudgetMS) * time.Millisecond,
-		Verify:     s.Verify,
+		TimeBudget:  time.Duration(s.TimeBudgetMS) * time.Millisecond,
+		Verify:      s.Verify,
+		Parallelism: s.Parallelism,
 	}
 }
 

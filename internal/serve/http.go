@@ -64,6 +64,12 @@ type submitRequest struct {
 	// options field. Strict jobs whose results fail verification finish in
 	// state "failed" with the findings in the result JSON.
 	Verify string `json:"verify"`
+	// Parallelism is a top-level shorthand for options.parallelism, the
+	// job's worker-pool size inside the routing pipeline (0 = GOMAXPROCS
+	// capped at 8, 1 = serial; results are identical either way). When set
+	// it wins over the options field. Distinct from the engine's -workers,
+	// which is how many jobs run concurrently.
+	Parallelism int `json:"parallelism"`
 }
 
 // submitResponse answers POST /v1/jobs.
@@ -103,6 +109,9 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Options.Verify = mode
+	}
+	if req.Parallelism != 0 {
+		req.Options.Parallelism = req.Parallelism
 	}
 
 	j, err := e.Submit(Request{Design: d, Spec: req.Options, Priority: prio})

@@ -264,3 +264,42 @@ func TestHTTPOptionsRoundTrip(t *testing.T) {
 		t.Errorf("router saw %q, want \"2s;123\"", got)
 	}
 }
+
+// TestHTTPParallelismField pins the top-level "parallelism" shorthand: it
+// reaches the router as Options.Parallelism, wins over the options field,
+// and negative values are rejected before admission.
+func TestHTTPParallelismField(t *testing.T) {
+	var seen []int
+	e := New(Config{Workers: 1, Route: func(ctx context.Context, d *design.Design, opt router.Options) (*router.Output, error) {
+		seen = append(seen, opt.Parallelism)
+		return stubRoute(nil)(ctx, d, opt)
+	}})
+	defer e.Close()
+	ts := httptest.NewServer(NewHandler(e))
+	defer ts.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	dj, _ := json.Marshal(testDesign(1))
+	if code := post(fmt.Sprintf(`{"design": %s, "parallelism": 3}`, dj)); code != http.StatusOK {
+		t.Fatalf("top-level parallelism: code = %d", code)
+	}
+	// The shorthand wins over the options field when both are set.
+	if code := post(fmt.Sprintf(`{"design": %s, "options": {"parallelism": 2}, "parallelism": 5}`, dj)); code != http.StatusOK {
+		t.Fatalf("both fields: code = %d", code)
+	}
+	if want := []int{3, 5}; len(seen) != 2 || seen[0] != want[0] || seen[1] != want[1] {
+		t.Errorf("router saw parallelism %v, want %v", seen, want)
+	}
+	if code := post(fmt.Sprintf(`{"design": %s, "parallelism": -1}`, dj)); code != http.StatusBadRequest {
+		t.Errorf("negative parallelism: code = %d, want 400", code)
+	}
+}

@@ -21,7 +21,6 @@ package verify
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 
 	"rdlroute/internal/design"
@@ -152,16 +151,7 @@ type Options struct {
 	HaveDRC bool
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	w := runtime.GOMAXPROCS(0)
-	if w > 8 {
-		w = 8
-	}
-	return w
-}
+func (o Options) workers() int { return pool.Default(o.Workers) }
 
 // Verify re-checks the routed result against the design on a single worker.
 func Verify(d *design.Design, routes []*detail.Route) *Report {
