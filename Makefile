@@ -18,11 +18,12 @@ tier2: lint
 
 # Focused race gate over the concurrency-bearing packages: the parallel
 # DRC/verify engines, tile routing, the global router's speculative
-# multi-net stage and ordering pool, the pipeline facade's Parallelism
-# propagation and the serving layer. Faster than a full tier2 run.
+# multi-net stage and ordering pool, the ordering-strategy portfolio racer,
+# the pipeline facade's Parallelism propagation and the serving layer.
+# Faster than a full tier2 run.
 race-gate: lint
 	$(GO) vet ./...
-	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/ ./internal/router/
+	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/ ./internal/router/ ./internal/portfolio/
 
 # Domain-specific static analysis (internal/lint): determinism, map
 # iteration, float equality, sanctioned concurrency, and the //rdl:noalloc
@@ -52,14 +53,17 @@ bench-drc:
 	BENCH_DRC_OUT=$(CURDIR)/BENCH_drc.json \
 		$(GO) test -run '^$$' -bench BenchmarkDRC -benchmem ./internal/detail/
 
-# Routing hot path: global A*/rip-up and detailed routing per dense case.
-# Writes ns/op, allocs/op and B/op to BENCH_route.json — the allocation
-# counts are the zero-allocation A* regression gate. Global entries also
-# carry speculation_hit_rate and speedup_vs_serial (default Parallelism
-# vs the serial reference; both produce byte-identical results).
+# Routing hot path: global A*/rip-up and detailed routing per dense case,
+# plus the K=3 ordering-portfolio race end to end. Writes ns/op, allocs/op
+# and B/op to BENCH_route.json — the allocation counts are the
+# zero-allocation A* regression gate. Global entries also carry
+# speculation_hit_rate and speedup_vs_serial (default Parallelism vs the
+# serial reference; both produce byte-identical results; the speedup is
+# null with a note on 1-CPU hosts). Portfolio entries carry per-strategy
+# scores, the winner and beats_rudy.
 bench-route:
 	BENCH_ROUTE_OUT=$(CURDIR)/BENCH_route.json \
-		$(GO) test -run '^$$' -bench 'BenchmarkGlobalRoute|BenchmarkDetailRoute' -benchmem .
+		$(GO) test -run '^$$' -bench 'BenchmarkGlobalRoute|BenchmarkDetailRoute|BenchmarkPortfolioRoute' -benchmem .
 
 fmt:
 	gofmt -l -w .

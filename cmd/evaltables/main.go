@@ -7,6 +7,7 @@
 //	evaltables -fig 2              # Fig. 2   (channel utilization series)
 //	evaltables -fig 14 -out out/   # Fig. 14  (dense5 layer-1 SVG)
 //	evaltables -ablations dense3   # ablation studies
+//	evaltables -portfolio default  # ordering-portfolio race, per-strategy rows
 //	evaltables -all -out out/      # everything
 //
 // The -budget flag is the per-run time cap (the paper's 1-hour limit scaled
@@ -49,6 +50,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		table     = fs.Int("table", 0, "print table 1, 2 or 3")
 		fig       = fs.Int("fig", 0, "produce figure 2 or 14")
 		ablations = fs.String("ablations", "", "run ablations on the named case")
+		portfolio = fs.String("portfolio", "", "race ordering strategies per case and print per-strategy rows (comma-separated, or \"default\" for rudy,netlen,congestion)")
 		all       = fs.Bool("all", false, "produce every table, figure, and ablation")
 		outDir    = fs.String("out", "out", "output directory for figure files")
 		budget    = fs.Duration("budget", 30*time.Second, "time budget per routing run")
@@ -106,6 +108,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "Fig. 14: wrote %s (routability %.2f%%, wirelength %.0f µm)\n\n",
 			path, out.Metrics.Routability*100, out.Metrics.Wirelength)
+		did = true
+	}
+	if *portfolio != "" || *all {
+		names := splitFields(*portfolio)
+		if len(names) == 1 && names[0] == "default" {
+			names = nil // PortfolioTable's canonical K=3 set
+		}
+		if _, err := bench.PortfolioTable(ctx, stdout, cfg, names); err != nil {
+			return err
+		}
 		did = true
 	}
 	if *ablations != "" || *all {

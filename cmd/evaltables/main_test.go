@@ -82,3 +82,19 @@ func TestSplitFields(t *testing.T) {
 		t.Errorf("empty split = %v", out)
 	}
 }
+
+func TestRunPortfolioTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-portfolio", "rudy,netlen", "-cases", "dense1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Portfolio ordering race", "rudy", "netlen", "ΔWL vs rudy", "beat rudy-only on"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("portfolio table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("no winner starred:\n%s", out)
+	}
+}

@@ -8,6 +8,8 @@
 //	rdlroute [-router ours|cai|aarf] [-budget 30s] [-svg out.svg -layer 0]
 //	         [-routes out.json] [-stats] [-verify off|warn|strict]
 //	         [-trace out.jsonl] [-progress]
+//	         [-ordering rudy|netlen|congestion|anneal]
+//	         [-portfolio rudy,netlen,anneal] [-ordering-profile prof.json]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //	         [-strict] (-design file.json | -case dense1)
 //
@@ -31,6 +33,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +41,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/detail"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/portfolio"
 	"rdlroute/internal/router"
 	"rdlroute/internal/stats"
 	"rdlroute/internal/svg"
@@ -82,6 +86,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		progress   = fs.Bool("progress", false, "print live per-stage progress to stderr")
 		strict     = fs.Bool("strict", false, "fail with exit code 3 on timeout, 4 on unrouted nets")
 		workers    = fs.Int("workers", 0, "pipeline parallelism: worker-pool size for global/detail/DRC/verify (0 = GOMAXPROCS capped at 8, 1 = serial); output is identical for every value")
+		ordering   = fs.String("ordering", "", "net-ordering strategy: rudy, netlen, congestion or anneal (empty = rudy)")
+		portfolioF = fs.String("portfolio", "", "comma-separated strategies raced as independent route attempts; the best result wins (e.g. rudy,netlen,anneal)")
+		orderProf  = fs.String("ordering-profile", "", "JSON weight profile for the congestion ordering strategy")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -123,6 +130,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	vmode, err := router.ParseVerifyMode(*verifyFlag)
 	if err != nil {
 		return err
+	}
+	var portfolioList []string
+	for _, name := range strings.Split(*portfolioF, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			portfolioList = append(portfolioList, name)
+		}
+	}
+	var profile *portfolio.Profile
+	if *orderProf != "" {
+		p, err := portfolio.LoadProfile(*orderProf)
+		if err != nil {
+			return err
+		}
+		profile = &p
+	}
+	if (*ordering != "" || len(portfolioList) > 0 || profile != nil) && *which != "ours" {
+		return fmt.Errorf("-ordering/-portfolio/-ordering-profile only apply to -router ours, not %q", *which)
 	}
 
 	var d *design.Design
@@ -168,6 +192,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	case "ours":
 		out, err := router.Route(ctx, d, router.Options{
 			TimeBudget: *budget, Rec: rec, Verify: vmode, Parallelism: *workers,
+			Ordering: *ordering, Portfolio: portfolioList, OrderingProfile: profile,
 		})
 		if out == nil {
 			return err
@@ -178,6 +203,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "router=ours design=%s nets=%d/%d routability=%.2f%% wirelength=%.0fµm vias=%d runtime=%v drc=%d timedOut=%v\n",
 			d.Name, m.RoutedNets, m.TotalNets, m.Routability*100, m.Wirelength,
 			m.Vias, m.Runtime.Round(time.Millisecond), m.DRCViolations, m.TimedOut)
+		if m.PortfolioWinner != "" {
+			for _, att := range out.Portfolio {
+				marker := ""
+				if att.Strategy == m.PortfolioWinner {
+					marker = " winner"
+				}
+				if att.OK {
+					fmt.Fprintf(stdout, "portfolio: %-10s routability=%.2f%% wirelength=%.0fµm vias=%d%s\n",
+						att.Strategy, att.Routability*100, att.Wirelength, att.Vias, marker)
+				} else {
+					fmt.Fprintf(stdout, "portfolio: %-10s failed: %v\n", att.Strategy, att.Err)
+				}
+			}
+		}
 		routes = out.DetailResult.Routes
 		timedOut = m.TimedOut
 		unrouted = m.TotalNets - m.RoutedNets

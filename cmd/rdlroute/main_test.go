@@ -221,3 +221,39 @@ func TestRunVerifyBadMode(t *testing.T) {
 		t.Error("unknown verify mode must error")
 	}
 }
+
+func TestRunPortfolioFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-case", "dense1", "-portfolio", "rudy, netlen"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"router=ours", "portfolio: rudy", "portfolio: netlen", "winner"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOrderingFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-case", "dense1", "-ordering", "netlen"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); strings.Contains(out, "portfolio:") {
+		t.Errorf("single-ordering run printed portfolio rows:\n%s", out)
+	}
+	if err := run(context.Background(), []string{"-case", "dense1", "-ordering", "zigzag"}, &sb); err == nil {
+		t.Error("unknown ordering must error")
+	}
+}
+
+func TestRunOrderingNeedsOursRouter(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-case", "dense1", "-router", "cai", "-ordering", "rudy"}, &sb); err == nil {
+		t.Error("-ordering with -router cai must error")
+	}
+	if err := run(context.Background(), []string{"-case", "dense1", "-router", "aarf", "-portfolio", "rudy,netlen"}, &sb); err == nil {
+		t.Error("-portfolio with -router aarf must error")
+	}
+}

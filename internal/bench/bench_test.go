@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rdlroute/internal/design"
+	"rdlroute/internal/portfolio"
 )
 
 func TestTableIOutput(t *testing.T) {
@@ -194,6 +195,46 @@ func TestPrintAblations(t *testing.T) {
 	for _, want := range []string{"corner-capacity", "RUDY", "AP-adjustment", "diagonal"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestPortfolioTableSmall(t *testing.T) {
+	var sb strings.Builder
+	runs, err := PortfolioTable(context.Background(), &sb,
+		Config{Cases: []string{"dense1"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	r := runs[0]
+	if len(r.Rows) != 3 || r.Winner == "" {
+		t.Fatalf("race summary wrong: %+v", r)
+	}
+	var rudy, winner *portfolio.Outcome
+	for i := range r.Rows {
+		o := &r.Rows[i]
+		if o.Strategy == "rudy" {
+			rudy = o
+		}
+		if o.Strategy == r.Winner {
+			winner = o
+		}
+	}
+	if rudy == nil || winner == nil {
+		t.Fatalf("rudy or winner missing from rows: %+v", r.Rows)
+	}
+	// dense1's netlen order routes shorter than RUDY — the evaluation's
+	// standing example of the portfolio paying for itself.
+	if !winnerBeatsRudy(r, rudy) {
+		t.Errorf("winner %s does not beat rudy: winner %+v rudy %+v", r.Winner, winner, rudy)
+	}
+	out := sb.String()
+	for _, want := range []string{"Portfolio ordering race", r.Winner + "*", "beat rudy-only on 1/1 cases"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
 		}
 	}
 }

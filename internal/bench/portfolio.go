@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/portfolio"
+	"rdlroute/internal/router"
+)
+
+// PortfolioRun is one benchmark's ordering-portfolio race: the per-strategy
+// attempt scores in canonical strategy order plus the declared winner.
+type PortfolioRun struct {
+	Case       string
+	Strategies []string
+	Winner     string
+	Rows       []portfolio.Outcome
+	Runtime    time.Duration
+}
+
+// RunPortfolio races the named ordering strategies on one benchmark and
+// returns the attempt table. An empty strategy list selects the canonical
+// K=3 portfolio (rudy, netlen, congestion).
+func RunPortfolio(ctx context.Context, name string, budget time.Duration, strategies []string) (*PortfolioRun, error) {
+	if len(strategies) == 0 {
+		strategies = []string{"rudy", "netlen", "congestion"}
+	}
+	d, err := design.GenerateDense(name)
+	if err != nil {
+		return nil, err
+	}
+	out, err := router.Route(ctx, d, router.Options{TimeBudget: budget, Portfolio: strategies})
+	if err != nil {
+		return nil, err
+	}
+	return &PortfolioRun{
+		Case:       name,
+		Strategies: strategies,
+		Winner:     out.Metrics.PortfolioWinner,
+		Rows:       out.Portfolio,
+		Runtime:    out.Metrics.Runtime,
+	}, nil
+}
+
+// PortfolioTable runs the ordering-portfolio race over the configured cases
+// and prints one row per strategy: routability, wirelength, via count and
+// the wirelength delta against the paper's RUDY baseline, with the winner
+// starred. It reports how often the race beat RUDY-only, the evidence the
+// evaluation keeps for the portfolio subsystem.
+func PortfolioTable(ctx context.Context, w io.Writer, cfg Config, strategies []string) ([]*PortfolioRun, error) {
+	cfg = cfg.withDefaults()
+	var runs []*PortfolioRun
+	for _, name := range cfg.Cases {
+		r, err := RunPortfolio(ctx, name, cfg.TimeBudget, strategies)
+		if err != nil {
+			return nil, fmt.Errorf("bench: portfolio on %s: %w", name, err)
+		}
+		runs = append(runs, r)
+	}
+	if len(runs) == 0 {
+		return runs, nil
+	}
+	fmt.Fprintf(w, "Portfolio ordering race (strategies: %s)\n",
+		strings.Join(runs[0].Strategies, ","))
+	fmt.Fprintf(w, "%-8s %-12s %8s %12s %6s %12s\n",
+		"Case", "Strategy", "R%", "WL(µm)", "Vias", "ΔWL vs rudy")
+	beats := 0
+	for _, r := range runs {
+		var rudy *portfolio.Outcome
+		for i := range r.Rows {
+			if r.Rows[i].Strategy == "rudy" {
+				rudy = &r.Rows[i]
+			}
+		}
+		for _, o := range r.Rows {
+			name := o.Strategy
+			if o.Strategy == r.Winner {
+				name += "*"
+			}
+			if !o.OK {
+				fmt.Fprintf(w, "%-8s %-12s failed: %v\n", r.Case, name, o.Err)
+				continue
+			}
+			delta := "—"
+			if rudy != nil && rudy.OK {
+				delta = fmt.Sprintf("%+.0f", o.Wirelength-rudy.Wirelength)
+			}
+			fmt.Fprintf(w, "%-8s %-12s %8.2f %12.0f %6d %12s\n",
+				r.Case, name, o.Routability*100, o.Wirelength, o.Vias, delta)
+		}
+		if rudy != nil && winnerBeatsRudy(r, rudy) {
+			beats++
+		}
+	}
+	fmt.Fprintf(w, "portfolio beat rudy-only on %d/%d cases\n\n", beats, len(runs))
+	return runs, nil
+}
+
+// winnerBeatsRudy reports whether the race's winner strictly improved on
+// the RUDY attempt under the canonical objective (routability, then
+// wirelength).
+func winnerBeatsRudy(r *PortfolioRun, rudy *portfolio.Outcome) bool {
+	for _, o := range r.Rows {
+		if o.Strategy != r.Winner {
+			continue
+		}
+		return o.OK && (o.Routability > rudy.Routability ||
+			(o.Routability == rudy.Routability && o.Wirelength < rudy.Wirelength))
+	}
+	return false
+}

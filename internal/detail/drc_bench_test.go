@@ -34,6 +34,8 @@ type drcBenchResult struct {
 	// CPUs is the host's runtime.NumCPU() so the speedup column can be
 	// judged against the hardware it ran on.
 	CPUs int `json:"cpus"`
+	// Note flags entries whose speedup column was withheld (1-CPU host).
+	Note string `json:"note,omitempty"`
 }
 
 func recordDRCBench(r drcBenchResult) {
@@ -54,8 +56,15 @@ func TestMain(m *testing.M) {
 		}
 		out := make([]drcBenchResult, 0, len(drcBenchResults.m))
 		for _, r := range drcBenchResults.m {
-			if s, ok := serialMs[r.Case]; ok && r.MsPerCheck > 0 {
-				r.SpeedupVsSerial = s / r.MsPerCheck
+			switch {
+			case r.CPUs == 1 && r.Workers > 1:
+				// The pool is timesliced on one CPU; omit the speedup
+				// (omitempty drops the zero) rather than report noise.
+				r.Note = "single-CPU host: pool is timesliced, speedup not measurable"
+			default:
+				if s, ok := serialMs[r.Case]; ok && r.MsPerCheck > 0 {
+					r.SpeedupVsSerial = s / r.MsPerCheck
+				}
 			}
 			out = append(out, r)
 		}

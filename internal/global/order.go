@@ -8,6 +8,7 @@ import (
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/pool"
+	"rdlroute/internal/portfolio"
 	"rdlroute/internal/pq"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/viaplan"
@@ -15,9 +16,10 @@ import (
 
 // Initial net ordering (§III-A2): every net is first routed alone on the
 // empty graph; a RUDY-like wire density is accumulated on the tiles each
-// standalone guide passes; nets are then ordered so that those passing more
-// over-threshold tiles — and among equals those with shorter pin-to-pin
-// distance — route first.
+// standalone guide passes; the per-net features (over-threshold tile counts,
+// pin-to-pin distances, congested-tile conflicts) feed a portfolio.Model,
+// and the configured ordering strategy — the paper's RUDY policy by
+// default — turns the model into the routing order.
 
 // initialOrder returns the net indices in routing order. A cancelled ctx
 // degrades gracefully: standalone seed routes not yet computed are skipped
@@ -93,18 +95,75 @@ func (r *Router) initialOrder(ctx context.Context) []int {
 			}
 		}
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		na, nb := order[a], order[b]
-		if congested[na] != congested[nb] {
-			return congested[na] > congested[nb]
-		}
-		da, db := r.netPinDist(na), r.netPinDist(nb)
-		if da != db {
-			return da < db
-		}
-		return na < nb
-	})
+
+	m := &portfolio.Model{Nets: n, Congested: congested, PinDist: make([]float64, n)}
+	for ni := range m.PinDist {
+		m.PinDist[ni] = r.netPinDist(ni)
+	}
+	r.orderModel = m
+	strat := r.Opt.Order
+	if strat == nil {
+		// Legacy path: portfolio.RUDY is the verbatim extraction of the
+		// comparator that used to live here, so this is byte-identical to
+		// the pre-portfolio sort.
+		strat = portfolio.RUDY{}
+	} else {
+		// The pairwise interaction signal is only built for configured
+		// strategies; RUDY never reads it.
+		m.Conflicts = r.conflictPairs(density)
+	}
+	order = strat.Order(ctx, m)
+	if !portfolio.ValidOrder(order, n) {
+		// A broken external strategy must not corrupt routing: fall back to
+		// the paper's policy rather than route a non-permutation.
+		order = portfolio.RUDY{}.Order(ctx, m)
+	}
 	return order
+}
+
+// conflictPairs lists net pairs whose standalone seed paths share congested
+// tiles, sorted by (A, B). Per-tile net lists are built in ascending net
+// order (so A < B holds by construction) and capped: a pathological tile
+// crossed by hundreds of seed paths would otherwise cost O(k²) pairs while
+// adding no ordering signal beyond its first couple dozen nets.
+func (r *Router) conflictPairs(density map[tileKey]float64) []portfolio.Conflict {
+	const maxTileNets = 24
+	tileNets := make(map[tileKey][]int)
+	seen := make(map[tileKey]struct{})
+	for ni := range r.predTiles {
+		clear(seen)
+		for _, key := range r.predTiles[ni] {
+			if density[key] <= r.Opt.CongestionThreshold {
+				continue
+			}
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			seen[key] = struct{}{}
+			if nets := tileNets[key]; len(nets) < maxTileNets {
+				tileNets[key] = append(nets, ni)
+			}
+		}
+	}
+	pairs := make(map[[2]int]int)
+	for _, nets := range tileNets {
+		for i := 0; i < len(nets); i++ {
+			for j := i + 1; j < len(nets); j++ {
+				pairs[[2]int{nets[i], nets[j]}]++
+			}
+		}
+	}
+	out := make([]portfolio.Conflict, 0, len(pairs))
+	for p, shared := range pairs {
+		out = append(out, portfolio.Conflict{A: p[0], B: p[1], Shared: shared})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].A != out[b].A {
+			return out[a].A < out[b].A
+		}
+		return out[a].B < out[b].B
+	})
+	return out
 }
 
 // tileArea returns the area of a tile.

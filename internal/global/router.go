@@ -14,6 +14,7 @@ import (
 
 	"rdlroute/internal/obs"
 	"rdlroute/internal/pool"
+	"rdlroute/internal/portfolio"
 	"rdlroute/internal/rgraph"
 )
 
@@ -38,8 +39,13 @@ type Options struct {
 	// 400000.
 	MaxExpansions int
 	// DisableRUDYOrder skips congestion-based initial ordering and routes
-	// nets in ID order (ablation).
+	// nets in ID order (ablation). It wins over Order: the standalone seed
+	// routes that feed the ordering model are not computed at all.
 	DisableRUDYOrder bool
+	// Order is the net-ordering strategy consuming the RUDY seed features
+	// (see internal/portfolio). Nil selects portfolio.RUDY — the paper's
+	// policy — over a code path byte-identical to the pre-portfolio router.
+	Order portfolio.Strategy
 	// DisableDiagonalRefinement skips the Eq. 3 refinement pass (ablation).
 	DisableDiagonalRefinement bool
 	// EdgeUsePerNet is how many capacity units each guide consumes on every
@@ -207,6 +213,10 @@ type Router struct {
 	// union-find interference group built from those footprints, specScr
 	// the lazily created per-worker scratches, and the counters feed
 	// Result and the obs ledger.
+	// orderModel is the feature model initialOrder built for the ordering
+	// strategy (nil until initialOrder runs, or with DisableRUDYOrder).
+	orderModel *portfolio.Model
+
 	predTiles  [][]tileKey
 	specGroup  []int32
 	specScr    []*searchScratch
@@ -331,9 +341,7 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 				done = true
 			}
 			if !done {
-				sort.SliceStable(order, func(a, b int) bool {
-					return failCount[order[a]] > failCount[order[b]]
-				})
+				reorderByFailures(order, failCount)
 			}
 		}
 		if r.Opt.AfterRound != nil {
@@ -383,6 +391,17 @@ func (r *Router) Run(ctx context.Context) (*Result, error) {
 		return res, ctx.Err()
 	}
 	return res, nil
+}
+
+// reorderByFailures is the net-order adjustment of §III-A3c: nets with
+// larger failure counts move to the front for the next round. The sort is
+// stable on purpose — equal-failure nets keep their prior relative order,
+// i.e. the initial strategy's order, which is the paper's documented tie
+// behavior and what keeps strategy comparisons meaningful across rounds.
+func reorderByFailures(order, failCount []int) {
+	sort.SliceStable(order, func(a, b int) bool {
+		return failCount[order[a]] > failCount[order[b]]
+	})
 }
 
 // routedCount returns how many nets currently hold a committed guide.

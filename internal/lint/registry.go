@@ -2,15 +2,16 @@ package lint
 
 // DeterministicScope lists the packages whose output must be a pure
 // function of the input design and options: the geometry kernels, the
-// triangulation, via planning, the routing graph, both routing stages and
-// the verifier. Everything the byte-identical differential tests protect
-// lives here.
+// triangulation, via planning, the routing graph, both routing stages, the
+// net-ordering portfolio and the verifier. Everything the byte-identical
+// differential tests protect lives here.
 var DeterministicScope = []string{
 	"internal/geom",
 	"internal/dt",
 	"internal/viaplan",
 	"internal/rgraph",
 	"internal/global",
+	"internal/portfolio",
 	"internal/detail",
 	"internal/verify",
 }

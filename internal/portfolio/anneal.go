@@ -1,0 +1,178 @@
+package portfolio
+
+import (
+	"context"
+	"math"
+	"math/rand"
+)
+
+// annealSeed is the fixed default seed of the Anneal strategy. Ordering is
+// part of a run's deterministic identity, so the seed is a package constant
+// rather than entropy: equal models anneal to equal orders on every host.
+const annealSeed int64 = 0x52444c4f52445231
+
+// annealLenBias weighs the position-weighted net-length term against the
+// conflict term in the annealing energy (both are normalized by the mean
+// pin distance; see energy below).
+const annealLenBias = 0.5
+
+// Anneal perturbs the RUDY order with seeded simulated annealing — the
+// NLRT RoutingDesigner move, applied to net ordering. The energy is a
+// cheap routing surrogate over the Model:
+//
+//	E(order) = Σ_conflicts Shared · dist(later net)/meanDist
+//	         + lenBias · Σ_nets pos(net)/n · dist(net)/meanDist
+//
+// The first term charges every congested-tile conflict to the net routed
+// later (the later net is the one that detours, and a long net detours
+// further); the second gently prefers short nets early, anchoring the walk
+// when a design has no congested conflicts at all. Swap moves with a
+// geometric cooling schedule; the best order seen wins.
+type Anneal struct {
+	// Seed overrides the package's fixed default seed; zero selects
+	// annealSeed. Tests use distinct seeds to probe search variance.
+	Seed int64
+}
+
+// Name implements Strategy.
+func (Anneal) Name() string { return "anneal" }
+
+// annealNeighbor is one conflict edge as seen from a single net.
+type annealNeighbor struct {
+	other  int
+	shared float64
+}
+
+// Order implements Strategy. It stops early — returning the best order so
+// far — when ctx is cancelled, matching the pipeline's report-best-so-far
+// degradation.
+func (s Anneal) Order(ctx context.Context, m *Model) []int {
+	base := RUDY{}.Order(ctx, m)
+	n := m.Nets
+	if n < 3 {
+		return base
+	}
+
+	// Mean pin distance normalizes both energy terms to O(1) per net/pair.
+	meanDist := 0.0
+	for i := 0; i < n; i++ {
+		meanDist += m.pinDistOf(i)
+	}
+	meanDist /= float64(n)
+	if meanDist <= 0 {
+		meanDist = 1
+	}
+	norm := make([]float64, n)
+	for i := 0; i < n; i++ {
+		norm[i] = m.pinDistOf(i) / meanDist
+	}
+
+	adj := make([][]annealNeighbor, n)
+	for _, c := range m.Conflicts {
+		if c.A < 0 || c.B < 0 || c.A >= n || c.B >= n || c.A == c.B {
+			continue
+		}
+		w := float64(c.Shared)
+		adj[c.A] = append(adj[c.A], annealNeighbor{other: c.B, shared: w})
+		adj[c.B] = append(adj[c.B], annealNeighbor{other: c.A, shared: w})
+	}
+
+	order := append([]int(nil), base...)
+	pos := make([]int, n)
+	for p, ni := range order {
+		pos[ni] = p
+	}
+
+	// pairTerm charges a conflict to whichever net sits later in the order.
+	pairTerm := func(u, v int, shared float64) float64 {
+		if pos[u] > pos[v] {
+			return shared * norm[u]
+		}
+		return shared * norm[v]
+	}
+	// lenTerm is net u's position-weighted length contribution.
+	lenTerm := func(u int) float64 {
+		return annealLenBias * float64(pos[u]) / float64(n) * norm[u]
+	}
+	energy := func() float64 {
+		e := 0.0
+		for _, c := range m.Conflicts {
+			if c.A < 0 || c.B < 0 || c.A >= n || c.B >= n || c.A == c.B {
+				continue
+			}
+			e += pairTerm(c.A, c.B, float64(c.Shared))
+		}
+		for u := 0; u < n; u++ {
+			e += lenTerm(u)
+		}
+		return e
+	}
+	// swapDelta computes the energy change of swapping the nets at
+	// positions i and j by re-evaluating only the terms touching them.
+	swapDelta := func(u, v int) float64 {
+		before := lenTerm(u) + lenTerm(v)
+		for _, nb := range adj[u] {
+			before += pairTerm(u, nb.other, nb.shared)
+		}
+		for _, nb := range adj[v] {
+			if nb.other == u {
+				continue // the (u,v) pair itself was counted from u's side
+			}
+			before += pairTerm(v, nb.other, nb.shared)
+		}
+		pos[u], pos[v] = pos[v], pos[u]
+		after := lenTerm(u) + lenTerm(v)
+		for _, nb := range adj[u] {
+			after += pairTerm(u, nb.other, nb.shared)
+		}
+		for _, nb := range adj[v] {
+			if nb.other == u {
+				continue
+			}
+			after += pairTerm(v, nb.other, nb.shared)
+		}
+		pos[u], pos[v] = pos[v], pos[u]
+		return after - before
+	}
+
+	seed := s.Seed
+	if seed == 0 {
+		seed = annealSeed
+	}
+	//rdl:allow detrand anneal RNG is seeded from Anneal.Seed, default the package constant annealSeed — equal models give equal orders on every host
+	rng := rand.New(rand.NewSource(seed))
+
+	iters := 1000 + 40*n
+	if iters > 40000 {
+		iters = 40000
+	}
+	const t0, tEnd = 1.0, 0.01
+	cur := energy()
+	best := cur
+	bestOrder := append([]int(nil), order...)
+	for it := 0; it < iters; it++ {
+		if it%512 == 0 && ctx.Err() != nil {
+			break
+		}
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		u, v := order[i], order[j]
+		d := swapDelta(u, v)
+		if d > 0 {
+			t := t0 * math.Pow(tEnd/t0, float64(it)/float64(iters))
+			if rng.Float64() >= math.Exp(-d/t) {
+				continue
+			}
+		}
+		order[i], order[j] = v, u
+		pos[u], pos[v] = pos[v], pos[u]
+		cur += d
+		if cur < best {
+			best = cur
+			copy(bestOrder, order)
+		}
+	}
+	return bestOrder
+}

@@ -22,6 +22,7 @@ import (
 	"rdlroute/internal/detail"
 	"rdlroute/internal/global"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/portfolio"
 	"rdlroute/internal/rgraph"
 	"rdlroute/internal/verify"
 	"rdlroute/internal/viaplan"
@@ -63,6 +64,22 @@ type Options struct {
 	// is kept as a working alias for the DRC/verify stages and wins over
 	// Parallelism there when non-zero.
 	VerifyWorkers int
+	// Ordering selects the global stage's net-ordering strategy by name
+	// ("rudy", "netlen", "congestion", "anneal"; see internal/portfolio).
+	// Empty selects the legacy RUDY path — byte-identical output and
+	// unchanged cache keys. Mutually exclusive with Portfolio.
+	Ordering string
+	// Portfolio lists strategies raced as independent full route attempts
+	// (each on its own router instance over the shared routing graph,
+	// splitting the Parallelism budget); the winner is chosen by the
+	// canonical objective routability > wirelength > via count > strategy
+	// name, so the selected result is byte-identical for any worker count,
+	// completion order or submission order. Empty (the default) routes the
+	// single configured strategy.
+	Portfolio []string
+	// OrderingProfile parameterizes the "congestion" strategy's scorer;
+	// nil selects the built-in default weights.
+	OrderingProfile *portfolio.Profile
 }
 
 // verifyWorkers resolves the DRC/verify pool size: the deprecated
@@ -101,7 +118,10 @@ type Metrics struct {
 	// VerifyFindings is the verification gate's finding count; zero when
 	// the gate is off (see VerifyMode).
 	VerifyFindings int
-	GraphStats     rgraph.Stats
+	// PortfolioWinner names the strategy whose attempt won the portfolio
+	// race; empty for single-attempt runs.
+	PortfolioWinner string
+	GraphStats      rgraph.Stats
 }
 
 // Output carries the full results of a routing run.
@@ -115,7 +135,10 @@ type Output struct {
 	// VerifyReport is the verification gate's report; nil when the gate is
 	// off (Options.Verify == VerifyOff).
 	VerifyReport *verify.Report
-	Metrics      Metrics
+	// Portfolio holds every race attempt's canonical score in canonical
+	// strategy order; nil for single-attempt runs.
+	Portfolio []portfolio.Outcome
+	Metrics   Metrics
 }
 
 // Route runs the complete any-angle routing pipeline on a design.
@@ -154,32 +177,35 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 		return nil, fmt.Errorf("router: graph build: %w", err)
 	}
 
-	gopt := opt.Global
-	if gopt.Rec == nil {
-		gopt.Rec = rec
-	}
-	if gopt.Parallelism == 0 {
-		gopt.Parallelism = opt.Parallelism
-	}
-	gr := global.New(g, gopt)
-	gres, gerr := gr.Run(ctx)
-	if gres == nil {
-		return nil, fmt.Errorf("router: global routing: %w", gerr)
-	}
-
-	dopt := opt.Detail
-	if dopt.Rec == nil {
-		dopt.Rec = rec
-	}
-	if dopt.Workers == 0 {
-		dopt.Workers = opt.Parallelism
-	}
-	dres, err := detail.Run(ctx, gr, gres, dopt)
+	strategies, err := opt.portfolioStrategies()
 	if err != nil {
-		return nil, fmt.Errorf("router: detailed routing: %w", err)
+		return nil, err
+	}
+	if len(strategies) > 0 {
+		return routePortfolio(ctx, d, g, opt, strategies, rec, start)
 	}
 
-	span = obs.StartSpan(rec, "drc")
+	strat, err := opt.orderingStrategy()
+	if err != nil {
+		return nil, err
+	}
+	ar := runAttempt(ctx, g, opt, strat, opt.Parallelism, rec)
+	if ar.err != nil {
+		return nil, ar.err
+	}
+	return finish(ctx, d, g, ar, opt, rec, start, nil, "")
+}
+
+// finish runs the shared pipeline epilogue on a completed attempt — DRC,
+// the verification gate, metrics — and assembles the Output. outs and
+// winner carry the portfolio race summary (nil/empty for single-attempt
+// runs).
+func finish(ctx context.Context, d *design.Design, g *rgraph.Graph,
+	ar attemptResult, opt Options, rec obs.Recorder, start time.Time,
+	outs []portfolio.Outcome, winner string) (*Output, error) {
+	gres, dres := ar.gres, ar.dres
+
+	span := obs.StartSpan(rec, "drc")
 	violations := detail.CheckDRCParallel(dres.Routes, d, detail.DRCOptions{
 		Workers: opt.verifyWorkers(), Rec: rec,
 	})
@@ -195,11 +221,12 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	out := &Output{
 		Design:       d,
 		Graph:        g,
-		GlobalRouter: gr,
+		GlobalRouter: ar.gr,
 		GlobalResult: gres,
 		DetailResult: dres,
 		Violations:   violations,
 		VerifyReport: report,
+		Portfolio:    outs,
 	}
 	m := &out.Metrics
 	m.TotalNets = len(d.Nets)
@@ -221,15 +248,16 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	if report != nil {
 		m.VerifyFindings = len(report.Problems)
 	}
+	m.PortfolioWinner = winner
 	m.GraphStats = g.Stats()
 	if rec.Enabled() {
 		rec.Gauge("routability", m.Routability)
 		rec.Gauge("wirelength_um", m.Wirelength)
 	}
 
-	if gerr != nil && !m.TimedOut {
+	if ar.gerr != nil && !m.TimedOut {
 		// Explicit cancellation: hand back what was routed plus the cause.
-		return out, fmt.Errorf("router: global routing: %w", gerr)
+		return out, fmt.Errorf("router: global routing: %w", ar.gerr)
 	}
 	if opt.Verify == VerifyStrict && report != nil && !report.OK() {
 		return out, &VerifyError{Report: report}

@@ -24,9 +24,18 @@ func TestOptionsSpecRoundTrip(t *testing.T) {
 	if got.Via != opt.Via || got.Graph != opt.Graph || got.Detail != opt.Detail {
 		t.Errorf("round trip changed stage options:\n got %+v\nwant %+v", got, opt)
 	}
-	// global.Options carries a func field, so compare its spec projection.
-	if got.Spec() != opt.Spec() {
-		t.Errorf("round trip changed spec:\n got %+v\nwant %+v", got.Spec(), opt.Spec())
+	// global.Options carries a func field, and the spec a slice field, so
+	// compare the canonical byte encodings.
+	gb, err := got.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := opt.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, ob) {
+		t.Errorf("round trip changed spec:\n got %s\nwant %s", gb, ob)
 	}
 	if got.TimeBudget != opt.TimeBudget {
 		t.Errorf("TimeBudget = %v, want %v", got.TimeBudget, opt.TimeBudget)

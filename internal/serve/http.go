@@ -70,6 +70,15 @@ type submitRequest struct {
 	// it wins over the options field. Distinct from the engine's -workers,
 	// which is how many jobs run concurrently.
 	Parallelism int `json:"parallelism"`
+	// Ordering is a top-level shorthand for options.ordering, the global
+	// stage's net-ordering strategy; when set it wins over the options
+	// field.
+	Ordering string `json:"ordering"`
+	// Portfolio is a top-level shorthand for options.portfolio: strategies
+	// raced as independent route attempts with canonical winner selection.
+	// When non-empty it wins over the options field. Validate canonicalizes
+	// the list, so submission order does not change the cache key.
+	Portfolio []string `json:"portfolio"`
 }
 
 // submitResponse answers POST /v1/jobs.
@@ -112,6 +121,12 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Parallelism != 0 {
 		req.Options.Parallelism = req.Parallelism
+	}
+	if req.Ordering != "" {
+		req.Options.Ordering = req.Ordering
+	}
+	if len(req.Portfolio) > 0 {
+		req.Options.Portfolio = req.Portfolio
 	}
 
 	j, err := e.Submit(Request{Design: d, Spec: req.Options, Priority: prio})
@@ -164,8 +179,22 @@ type resultResponse struct {
 	// Verify is the verification gate's report; absent when the job ran
 	// with the gate off.
 	Verify *verifyResult `json:"verify,omitempty"`
+	// Portfolio is the per-strategy race summary in canonical strategy
+	// order; absent for single-strategy jobs.
+	Portfolio []portfolioAttempt `json:"portfolio,omitempty"`
 	// Routes is the routed geometry, included with ?include=routes.
 	Routes []*detail.Route `json:"routes,omitempty"`
+}
+
+// portfolioAttempt is one strategy's score in a portfolio job result.
+type portfolioAttempt struct {
+	Strategy    string  `json:"strategy"`
+	Winner      bool    `json:"winner,omitempty"`
+	OK          bool    `json:"ok"`
+	Routability float64 `json:"routability"`
+	Wirelength  float64 `json:"wirelength_um"`
+	Vias        int     `json:"vias"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // verifyResult is the verification section of a job result (doc/VERIFY.md
@@ -220,6 +249,20 @@ func (e *Engine) handleResult(w http.ResponseWriter, r *http.Request) {
 	if out != nil {
 		resp.Violations = len(out.Violations)
 		resp.Verify = newVerifyResult(out.VerifyReport)
+		for _, att := range out.Portfolio {
+			pa := portfolioAttempt{
+				Strategy:    att.Strategy,
+				Winner:      att.Strategy == out.Metrics.PortfolioWinner,
+				OK:          att.OK,
+				Routability: att.Routability,
+				Wirelength:  att.Wirelength,
+				Vias:        att.Vias,
+			}
+			if att.Err != nil {
+				pa.Error = att.Err.Error()
+			}
+			resp.Portfolio = append(resp.Portfolio, pa)
+		}
 		if r.URL.Query().Get("include") == "routes" && out.DetailResult != nil {
 			resp.Routes = out.DetailResult.Routes
 		}
