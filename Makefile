@@ -17,10 +17,12 @@ tier2: lint
 	$(GO) test -race ./...
 
 # Focused race gate over the concurrency-bearing packages: the parallel
-# DRC/verify engines, tile routing, the global router's speculative
-# multi-net stage and ordering pool, the ordering-strategy portfolio racer,
-# the pipeline facade's Parallelism propagation and the serving layer.
-# Faster than a full tier2 run.
+# DRC/verify engines, tile routing and layer-reassignment pass of the
+# detail stage, the global router's speculative multi-net stage and
+# ordering pool, the ordering-strategy portfolio racer, the pipeline
+# facade's Parallelism propagation (including the via-accounting
+# differential across Parallelism 1/2/4/8) and the serving layer. Faster
+# than a full tier2 run.
 race-gate: lint
 	$(GO) vet ./...
 	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/ ./internal/router/ ./internal/portfolio/

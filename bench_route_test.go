@@ -260,7 +260,11 @@ func BenchmarkPortfolioRoute(b *testing.B) {
 
 // BenchmarkDetailRoute measures the detailed-routing stage alone: global
 // routing runs once outside the timer, each iteration redoes chain building,
-// DP access-point adjustment and tile fit routing over the same guides.
+// DP access-point adjustment, tile fit routing and layer reassignment over
+// the same guides. Besides timing, each case records a vias_vs_wirelength
+// trade-off row: the via counts before/after the layer-reassignment pass
+// next to the polished wirelength, the evidence BENCH_route.json keeps for
+// the via objective.
 func BenchmarkDetailRoute(b *testing.B) {
 	for _, name := range design.DenseNames() {
 		b.Run(name, func(b *testing.B) {
@@ -270,6 +274,7 @@ func BenchmarkDetailRoute(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			var last *detail.Result
 			measureLoop(b, "detail/"+name, "detail", name, func() {
 				dres, err := detail.Run(context.Background(), r, gres, detail.Options{})
 				if err != nil {
@@ -278,6 +283,23 @@ func BenchmarkDetailRoute(b *testing.B) {
 				if dres.Wirelength <= 0 {
 					b.Fatal("no wirelength")
 				}
+				last = dres
+			})
+			vias := 0
+			for _, rt := range last.Routes {
+				if rt != nil {
+					vias += len(rt.Vias)
+				}
+			}
+			amendRouteBench("detail/"+name, benchjson.Entry{
+				"vias":                 vias,
+				"vias_before_reassign": last.Reassign.ViasBefore,
+				"vias_vs_wirelength": benchjson.Entry{
+					"wirelength_um":        last.Wirelength,
+					"vias":                 vias,
+					"vias_before_reassign": last.Reassign.ViasBefore,
+					"segments_merged":      last.Reassign.SegmentsMerged,
+				},
 			})
 		})
 	}

@@ -34,6 +34,11 @@ func TestRunTable2Subset(t *testing.T) {
 	if !strings.Contains(out, "Table II") || !strings.Contains(out, "dense1") {
 		t.Errorf("Table II output incomplete:\n%s", out)
 	}
+	for _, want := range []string{"V(Cai)", "V(Ours)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing via column %q:\n%s", want, out)
+		}
+	}
 	if strings.Contains(out, "dense2") {
 		t.Error("case subset not honored")
 	}

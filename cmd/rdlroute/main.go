@@ -7,7 +7,7 @@
 //
 //	rdlroute [-router ours|cai|aarf] [-budget 30s] [-svg out.svg -layer 0]
 //	         [-routes out.json] [-stats] [-verify off|warn|strict]
-//	         [-trace out.jsonl] [-progress]
+//	         [-trace out.jsonl] [-progress] [-viacost 20]
 //	         [-ordering rudy|netlen|congestion|anneal]
 //	         [-portfolio rudy,netlen,anneal] [-ordering-profile prof.json]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -42,6 +42,7 @@ import (
 	"rdlroute/internal/detail"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/portfolio"
+	"rdlroute/internal/rgraph"
 	"rdlroute/internal/router"
 	"rdlroute/internal/stats"
 	"rdlroute/internal/svg"
@@ -86,6 +87,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		progress   = fs.Bool("progress", false, "print live per-stage progress to stderr")
 		strict     = fs.Bool("strict", false, "fail with exit code 3 on timeout, 4 on unrouted nets")
 		workers    = fs.Int("workers", 0, "pipeline parallelism: worker-pool size for global/detail/DRC/verify (0 = GOMAXPROCS capped at 8, 1 = serial); output is identical for every value")
+		viaCost    = fs.Float64("viacost", 0, "via cost in µm of equivalent wirelength: 0 = default (4×ViaWidth), negative = free vias")
 		ordering   = fs.String("ordering", "", "net-ordering strategy: rudy, netlen, congestion or anneal (empty = rudy)")
 		portfolioF = fs.String("portfolio", "", "comma-separated strategies raced as independent route attempts; the best result wins (e.g. rudy,netlen,anneal)")
 		orderProf  = fs.String("ordering-profile", "", "JSON weight profile for the congestion ordering strategy")
@@ -145,8 +147,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		profile = &p
 	}
-	if (*ordering != "" || len(portfolioList) > 0 || profile != nil) && *which != "ours" {
-		return fmt.Errorf("-ordering/-portfolio/-ordering-profile only apply to -router ours, not %q", *which)
+	if (*ordering != "" || len(portfolioList) > 0 || profile != nil || *viaCost != 0) && *which != "ours" {
+		return fmt.Errorf("-ordering/-portfolio/-ordering-profile/-viacost only apply to -router ours, not %q", *which)
 	}
 
 	var d *design.Design
@@ -193,6 +195,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		out, err := router.Route(ctx, d, router.Options{
 			TimeBudget: *budget, Rec: rec, Verify: vmode, Parallelism: *workers,
 			Ordering: *ordering, Portfolio: portfolioList, OrderingProfile: profile,
+			Graph: rgraph.Options{ViaCost: rgraph.ViaCostPtr(*viaCost)},
 		})
 		if out == nil {
 			return err

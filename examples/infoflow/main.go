@@ -54,7 +54,7 @@ func main() {
 			continue
 		}
 		for _, v := range rt.Vias {
-			viaCount[v.UpperLayer]++
+			viaCount[v.Layer]++
 		}
 	}
 	fmt.Println("\nvia usage:")

@@ -56,7 +56,12 @@ type CaseRun struct {
 	RoutedNets    int
 	TotalNets     int
 	DRCViolations int
-	TimedOut      bool
+	// Vias is the via count of the routed nets; ViasBeforeReassign is the
+	// count before the detail stage's layer-reassignment pass (equal to
+	// Vias for routers without the pass).
+	Vias               int
+	ViasBeforeReassign int
+	TimedOut           bool
 	// StageSeconds is the per-stage wall-clock breakdown (span name →
 	// seconds); StageOrder lists the names in first-seen order.
 	StageSeconds map[string]float64
@@ -78,19 +83,21 @@ func RunOurs(ctx context.Context, name string, budget time.Duration) (*CaseRun, 
 		return nil, err
 	}
 	return &CaseRun{
-		StageSeconds:  col.StageSeconds(),
-		StageOrder:    col.StageOrder(),
-		Counters:      col.Counters(),
-		Case:          name,
-		Router:        "Ours",
-		Routability:   out.Metrics.Routability * 100,
-		Wirelength:    out.Metrics.Wirelength,
-		WirelengthLB:  out.Metrics.WirelengthIsLB,
-		Runtime:       out.Metrics.Runtime,
-		RoutedNets:    out.Metrics.RoutedNets,
-		TotalNets:     out.Metrics.TotalNets,
-		DRCViolations: out.Metrics.DRCViolations,
-		TimedOut:      out.Metrics.TimedOut,
+		StageSeconds:       col.StageSeconds(),
+		StageOrder:         col.StageOrder(),
+		Counters:           col.Counters(),
+		Case:               name,
+		Router:             "Ours",
+		Routability:        out.Metrics.Routability * 100,
+		Wirelength:         out.Metrics.Wirelength,
+		WirelengthLB:       out.Metrics.WirelengthIsLB,
+		Runtime:            out.Metrics.Runtime,
+		RoutedNets:         out.Metrics.RoutedNets,
+		TotalNets:          out.Metrics.TotalNets,
+		DRCViolations:      out.Metrics.DRCViolations,
+		Vias:               out.Metrics.Vias,
+		ViasBeforeReassign: out.Metrics.ViasBeforeReassign,
+		TimedOut:           out.Metrics.TimedOut,
 	}, nil
 }
 
@@ -107,19 +114,21 @@ func RunCai(ctx context.Context, name string, budget time.Duration) (*CaseRun, e
 	}
 	vs := detail.CheckDRC(res.DetailResult.Routes, d.Rules, d.WireLayers)
 	return &CaseRun{
-		StageSeconds:  col.StageSeconds(),
-		StageOrder:    col.StageOrder(),
-		Counters:      col.Counters(),
-		Case:          name,
-		Router:        "Cai",
-		Routability:   res.Routability * 100,
-		Wirelength:    res.Wirelength,
-		WirelengthLB:  res.RoutedNets < len(d.Nets),
-		Runtime:       res.Runtime,
-		RoutedNets:    res.RoutedNets,
-		TotalNets:     len(d.Nets),
-		DRCViolations: len(vs),
-		TimedOut:      res.TimedOut,
+		StageSeconds:       col.StageSeconds(),
+		StageOrder:         col.StageOrder(),
+		Counters:           col.Counters(),
+		Case:               name,
+		Router:             "Cai",
+		Routability:        res.Routability * 100,
+		Wirelength:         res.Wirelength,
+		WirelengthLB:       res.RoutedNets < len(d.Nets),
+		Runtime:            res.Runtime,
+		RoutedNets:         res.RoutedNets,
+		TotalNets:          len(d.Nets),
+		DRCViolations:      len(vs),
+		Vias:               countVias(res.DetailResult.Routes),
+		ViasBeforeReassign: countVias(res.DetailResult.Routes),
+		TimedOut:           res.TimedOut,
 	}, nil
 }
 
@@ -136,20 +145,33 @@ func RunAARF(ctx context.Context, name string, budget time.Duration) (*CaseRun, 
 	}
 	vs := detail.CheckDRC(res.DetailResult.Routes, d.Rules, d.WireLayers)
 	return &CaseRun{
-		StageSeconds:  col.StageSeconds(),
-		StageOrder:    col.StageOrder(),
-		Counters:      col.Counters(),
-		Case:          name,
-		Router:        "AARF*",
-		Routability:   res.Routability * 100,
-		Wirelength:    res.Wirelength,
-		WirelengthLB:  res.RoutedNets < len(d.Nets),
-		Runtime:       res.Runtime,
-		RoutedNets:    res.RoutedNets,
-		TotalNets:     len(d.Nets),
-		DRCViolations: len(vs),
-		TimedOut:      res.TimedOut,
+		StageSeconds:       col.StageSeconds(),
+		StageOrder:         col.StageOrder(),
+		Counters:           col.Counters(),
+		Case:               name,
+		Router:             "AARF*",
+		Routability:        res.Routability * 100,
+		Wirelength:         res.Wirelength,
+		WirelengthLB:       res.RoutedNets < len(d.Nets),
+		Runtime:            res.Runtime,
+		RoutedNets:         res.RoutedNets,
+		TotalNets:          len(d.Nets),
+		DRCViolations:      len(vs),
+		Vias:               countVias(res.DetailResult.Routes),
+		ViasBeforeReassign: countVias(res.DetailResult.Routes),
+		TimedOut:           res.TimedOut,
 	}, nil
+}
+
+// countVias sums the vias of routed nets.
+func countVias(routes []*detail.Route) int {
+	n := 0
+	for _, rt := range routes {
+		if rt != nil {
+			n += len(rt.Vias)
+		}
+	}
+	return n
 }
 
 // wlString formats a wirelength with the paper's '>' lower-bound marker.

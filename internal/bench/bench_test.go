@@ -132,8 +132,20 @@ func TestTableIIShapeSmall(t *testing.T) {
 	if cai.Wirelength <= ours.Wirelength {
 		t.Errorf("Cai WL %v not longer than ours %v", cai.Wirelength, ours.Wirelength)
 	}
-	if !strings.Contains(sb.String(), "Comp.") {
+	if cai.Vias <= 0 || ours.Vias <= 0 {
+		t.Errorf("via counts missing: cai %d ours %d", cai.Vias, ours.Vias)
+	}
+	if ours.ViasBeforeReassign < ours.Vias {
+		t.Errorf("ViasBeforeReassign %d below Vias %d", ours.ViasBeforeReassign, ours.Vias)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Comp.") {
 		t.Error("comparison row missing")
+	}
+	for _, want := range []string{"V(Cai)", "V(Ours)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("via column %q missing:\n%s", want, out)
+		}
 	}
 }
 

@@ -76,17 +76,19 @@ func TableIII(ctx context.Context, w io.Writer, cfg Config) (*Comparison, error)
 // printComparison renders a Comparison in the paper's row format.
 func printComparison(w io.Writer, title string, cmp *Comparison) {
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-8s | %-9s %-9s | %-12s %-12s | %-10s %-10s\n",
+	fmt.Fprintf(w, "%-8s | %-9s %-9s | %-12s %-12s | %-8s %-8s | %-10s %-10s\n",
 		"Case",
 		"R%("+cmp.Baseline+")", "R%(Ours)",
 		"WL("+cmp.Baseline+")", "WL(Ours)",
+		"V("+cmp.Baseline+")", "V(Ours)",
 		"T("+cmp.Baseline+")", "T(Ours)")
 	var wlRatios, rtRatios, routRatios []float64
 	for _, row := range cmp.Rows {
 		b, o := row[0], row[1]
-		fmt.Fprintf(w, "%-8s | %9.2f %9.2f | %12s %12s | %10.3f %10.3f\n",
+		fmt.Fprintf(w, "%-8s | %9.2f %9.2f | %12s %12s | %8d %8d | %10.3f %10.3f\n",
 			b.Case, b.Routability, o.Routability,
 			wlString(b), wlString(o),
+			b.Vias, o.Vias,
 			b.Runtime.Seconds(), o.Runtime.Seconds())
 		if !b.WirelengthLB && !o.WirelengthLB && o.Wirelength > 0 {
 			wlRatios = append(wlRatios, b.Wirelength/o.Wirelength)

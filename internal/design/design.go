@@ -120,6 +120,12 @@ type Net struct {
 	// design rules' default WireWidth. Power and clock nets are typically
 	// drawn wider than signal nets.
 	Width float64 `json:",omitempty"`
+	// MaxLayers restricts the net to the topmost MaxLayers wire layers
+	// (layers 0..MaxLayers-1); zero means unconstrained. Signal-integrity
+	// nets use it to avoid layer changes entirely (MaxLayers=1). Validate
+	// rejects negative values and values above WireLayers; the routing
+	// graph honors it via Design.LayerAllowed.
+	MaxLayers int `json:",omitempty"`
 }
 
 // Design is a complete any-angle RDL routing problem instance.
@@ -261,8 +267,24 @@ func (d *Design) Validate() error {
 		if n.Pins[0] == n.Pins[1] {
 			return fmt.Errorf("design %s: net %d connects a pad to itself: %w", d.Name, i, ErrBadReference)
 		}
+		if n.MaxLayers < 0 || n.MaxLayers > d.WireLayers {
+			return fmt.Errorf("design %s: net %d restricted to %d of %d wire layers: %w",
+				d.Name, i, n.MaxLayers, d.WireLayers, ErrBadReference)
+		}
 	}
 	return nil
+}
+
+// LayerAllowed reports whether a net may use a wire layer, honoring the
+// net's MaxLayers constraint. Out-of-range net IDs are unconstrained.
+func (d *Design) LayerAllowed(netID, layer int) bool {
+	if netID < 0 || netID >= len(d.Nets) {
+		return true
+	}
+	if m := d.Nets[netID].MaxLayers; m > 0 && layer >= m {
+		return false
+	}
+	return true
 }
 
 // WidthOf returns the wire width of a net, falling back to the rules'

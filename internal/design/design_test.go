@@ -2,6 +2,7 @@ package design
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -268,5 +269,56 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(path + ".missing"); err == nil {
 		t.Error("missing file must fail")
+	}
+}
+
+// TestMaxLayersValidation covers the per-net layer-constraint knob: the
+// valid range is 0 (unconstrained) to WireLayers inclusive.
+func TestMaxLayersValidation(t *testing.T) {
+	fresh := func() *Design {
+		d, err := GenerateDense("dense1") // 2 wire layers
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	d := fresh()
+	d.Nets[0].MaxLayers = -1
+	if err := d.Validate(); !errors.Is(err, ErrBadReference) {
+		t.Errorf("negative MaxLayers: err = %v, want ErrBadReference", err)
+	}
+
+	d = fresh()
+	d.Nets[0].MaxLayers = d.WireLayers + 1
+	if err := d.Validate(); !errors.Is(err, ErrBadReference) {
+		t.Errorf("MaxLayers > WireLayers: err = %v, want ErrBadReference", err)
+	}
+
+	d = fresh()
+	d.Nets[0].MaxLayers = 1
+	d.Nets[1].MaxLayers = d.WireLayers
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid MaxLayers rejected: %v", err)
+	}
+}
+
+func TestLayerAllowed(t *testing.T) {
+	d, err := GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Nets[0].MaxLayers = 1
+	if !d.LayerAllowed(0, 0) {
+		t.Error("net 0 must keep layer 0")
+	}
+	if d.LayerAllowed(0, 1) {
+		t.Error("net 0 restricted to 1 layer must not use layer 1")
+	}
+	if !d.LayerAllowed(1, 1) {
+		t.Error("unconstrained net must use any layer")
+	}
+	if !d.LayerAllowed(-1, 5) || !d.LayerAllowed(10_000, 5) {
+		t.Error("out-of-range net IDs are unconstrained")
 	}
 }

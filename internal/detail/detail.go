@@ -30,6 +30,9 @@ type Options struct {
 	// SkipAdjust disables the DP access-point adjustment (ablation): access
 	// points stay at their even initial distribution.
 	SkipAdjust bool
+	// SkipReassign disables the post-assembly layer-reassignment pass
+	// (ablation): avoidable layer detours keep their vias.
+	SkipReassign bool
 	// Workers is the worker-pool size for tile routing and route assembly.
 	// Zero or negative selects GOMAXPROCS capped at 8; 1 runs the units
 	// serially (the reference path the differential tests compare against).
@@ -69,15 +72,21 @@ type RouteSeg struct {
 type Route struct {
 	Net  int
 	Segs []RouteSeg
-	// Vias are the via positions used by this net, paired with the upper
-	// wire layer index of each via.
+	// Vias are the via positions used by this net, paired with the via
+	// layer each sits on. Vias[i] joins Segs[i] and Segs[i+1].
 	Vias []ViaUse
 }
 
 // ViaUse records one via taken by a route.
 type ViaUse struct {
-	Pos        geom.Point
-	UpperLayer int
+	Pos geom.Point
+	// Layer is the via layer index, matching viaplan.Via.Layer: via layer k
+	// joins wire layers k and k+1 (k is the smaller — physically upper —
+	// of the two wire layers under the 0-is-top convention). stats keys its
+	// Vias map by this index, svg draws the via on wire layers k and k+1,
+	// and the verifier applies via spacing rules per this index; the shared
+	// definition is pinned by TestViaLayerSemanticsAgree.
+	Layer int
 }
 
 // Wirelength returns the total wire length of the route (vias excluded,
@@ -103,6 +112,9 @@ type Result struct {
 	// AdjustedPartialNets is the number of partial nets processed by the DP
 	// pass.
 	AdjustedPartialNets int
+	// Reassign summarizes the layer-reassignment pass (zero when the pass
+	// was skipped).
+	Reassign ReassignStats
 	// Stopped reports that the run's context was cancelled or expired
 	// before detailed routing finished; the geometry of passages not
 	// reached falls back to straight chain hops.
@@ -187,8 +199,14 @@ func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options)
 			return nil, err
 		}
 	}
+	if !d.Opt.SkipReassign {
+		out.Reassign = ReassignRoutes(out.Routes, r.G.Design)
+	}
 	out.Wirelength = PolishRoutes(out.Routes, r.G.Design)
 	if d.rec.Enabled() {
+		d.rec.Count("detail.reassign.vias_removed",
+			int64(out.Reassign.ViasBefore-out.Reassign.ViasAfter))
+		d.rec.Count("detail.reassign.segments_merged", int64(out.Reassign.SegmentsMerged))
 		d.rec.Count("detail.dp.heap_ops", d.dpHeapOps)
 		d.rec.Count("detail.dp.partial_nets", int64(d.processed))
 		d.rec.Count("detail.fit.tangent_constructions", d.fitTangents)
@@ -215,11 +233,13 @@ func (d *Detailer) assemble(net int, ch *Chain, hops map[hopKey]geom.Polyline) (
 		if link.Kind == rgraph.CrossVia {
 			flush()
 			pos := d.ElemPos(ch.Elems[i])
-			up := ch.Elems[i].Layer
-			if ch.Elems[i+1].Layer < up {
-				up = ch.Elems[i+1].Layer
+			// The via layer index is the smaller of the two wire layers the
+			// via joins (via layer k connects wire layers k and k+1).
+			vl := ch.Elems[i].Layer
+			if ch.Elems[i+1].Layer < vl {
+				vl = ch.Elems[i+1].Layer
 			}
-			route.Vias = append(route.Vias, ViaUse{Pos: pos, UpperLayer: up})
+			route.Vias = append(route.Vias, ViaUse{Pos: pos, Layer: vl})
 			curLayer = ch.Elems[i+1].Layer
 			continue
 		}

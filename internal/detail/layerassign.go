@@ -1,0 +1,238 @@
+package detail
+
+import (
+	"math"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Post-assembly layer reassignment. The routing graph prices every layer
+// change with a fixed via cost, but the search still commits to detours
+// through adjacent layers that the final geometry does not need: a segment
+// sandwiched between two segments of the same layer can often be folded
+// onto that layer, deleting both vias. Vias are a yield concern in RDL
+// processes (random via failure), so each such fold is attempted greedily
+// and accepted only when the DRC engine's rules confirm the moved geometry
+// is clean on the target layer.
+//
+// The pass runs serially over routes in net-ID order, so its output is
+// independent of every Parallelism setting by construction — the routes it
+// reads are already byte-identical across pool sizes, and it adds no
+// concurrency of its own.
+
+// ReassignStats summarizes one layer-reassignment pass.
+type ReassignStats struct {
+	// ViasBefore and ViasAfter are the total via counts over all routes
+	// before and after the pass.
+	ViasBefore, ViasAfter int
+	// SegmentsMerged counts accepted folds (each removes two vias and
+	// replaces three segments with one).
+	SegmentsMerged int
+	// NetsChanged counts nets with at least one accepted fold.
+	NetsChanged int
+}
+
+// reassigner tracks the evolving per-layer geometry of all routes so each
+// candidate fold is validated against current wires and vias.
+type reassigner struct {
+	d     *design.Design
+	rules design.Rules
+	// layerSegs[layer] holds the current segments of every net.
+	layerSegs map[int][]netSeg
+	// layerVias[layer] holds the vias currently touching each wire layer.
+	layerVias map[int][]netVia
+}
+
+func newReassigner(routes []*Route, d *design.Design) *reassigner {
+	r := &reassigner{
+		d: d, rules: d.Rules,
+		layerSegs: make(map[int][]netSeg),
+		layerVias: make(map[int][]netVia),
+	}
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, s := range rt.Segs {
+			for _, sg := range s.Pl.Segments() {
+				r.layerSegs[s.Layer] = append(r.layerSegs[s.Layer], netSeg{rt.Net, sg})
+			}
+		}
+	}
+	r.refreshVias(routes)
+	return r
+}
+
+// refreshSegs rebuilds the stored segments of one layer.
+func (r *reassigner) refreshSegs(routes []*Route, layer int) {
+	segs := r.layerSegs[layer][:0]
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, s := range rt.Segs {
+			if s.Layer != layer {
+				continue
+			}
+			for _, sg := range s.Pl.Segments() {
+				segs = append(segs, netSeg{rt.Net, sg})
+			}
+		}
+	}
+	r.layerSegs[layer] = segs
+}
+
+// refreshVias rebuilds the via view of every layer (vias are deleted by
+// accepted folds, so unlike the polisher's the view is not fixed).
+func (r *reassigner) refreshVias(routes []*Route) {
+	for l := range r.layerVias {
+		r.layerVias[l] = r.layerVias[l][:0]
+	}
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, v := range rt.Vias {
+			// Via layer k touches wire layers k and k+1.
+			r.layerVias[v.Layer] = append(r.layerVias[v.Layer], netVia{rt.Net, v.Pos})
+			r.layerVias[v.Layer+1] = append(r.layerVias[v.Layer+1], netVia{rt.Net, v.Pos})
+		}
+	}
+}
+
+// moveOK reports whether a polyline may be placed on a layer: inside every
+// keep-out budget, clear of every other net's wires by the pairwise
+// clearance, and clear of every other net's vias by the via-wire limit.
+// Unlike the polisher's chord check the geometry is new on this layer, so
+// the full strict clearance applies with no pre-existing-shortfall
+// allowance.
+func (r *reassigner) moveOK(pl geom.Polyline, layer, net int) bool {
+	const eps = 1e-9
+	viaLimit := r.rules.ViaWidth/2 + r.rules.MinSpacing + r.d.WidthOf(net)/2
+	for _, sg := range pl.Segments() {
+		if r.d.SegmentBlocked(sg, layer, 0) {
+			return false
+		}
+		for _, ns := range r.layerSegs[layer] {
+			if r.d.SameGroup(ns.net, net) {
+				continue
+			}
+			if dd, _, _ := sg.DistToSegment(ns.seg); dd < r.d.Clearance(net, ns.net)-eps {
+				return false
+			}
+		}
+		for _, nv := range r.layerVias[layer] {
+			if r.d.SameGroup(nv.net, net) {
+				continue
+			}
+			if sg.DistToPoint(nv.pos) < viaLimit-eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// wireRuleCount counts the angle and turn-distance findings the DRC engine
+// would raise for a polyline (mirroring drcLayer.wireRuleUnit). Folds must
+// not increase the count: the junction vertices they interiorize may carry
+// turns the per-segment checks never saw.
+func wireRuleCount(pl geom.Polyline, rules design.Rules) int {
+	const eps = 1e-6
+	n := 0
+	for i := 1; i+1 < len(pl); i++ {
+		if geom.TurnAngle(pl[i-1], pl[i], pl[i+1]) > math.Pi/2+eps {
+			n++
+		}
+	}
+	for i := 2; i+1 < len(pl); i++ {
+		if pl[i-1].Dist(pl[i]) < rules.MinTurnDist-eps {
+			n++
+		}
+	}
+	return n
+}
+
+// mergePolylines concatenates the three segment polylines of a fold,
+// dropping the duplicated junction points.
+func mergePolylines(a, b, c geom.Polyline) geom.Polyline {
+	merged := make(geom.Polyline, 0, len(a)+len(b)+len(c))
+	merged = append(merged, a...)
+	merged = append(merged, b[1:]...)
+	merged = append(merged, c[1:]...)
+	return merged.Simplify()
+}
+
+// foldOne attempts the first acceptable fold of a route and reports whether
+// one was applied. Candidates are scanned left to right: an interior
+// segment whose two neighbours share a layer can fold onto that layer,
+// deleting the vias on both sides.
+func (r *reassigner) foldOne(routes []*Route, rt *Route) bool {
+	for i := 1; i+1 < len(rt.Segs); i++ {
+		l := rt.Segs[i-1].Layer
+		if rt.Segs[i+1].Layer != l || rt.Segs[i].Layer == l {
+			continue
+		}
+		if !r.d.LayerAllowed(rt.Net, l) {
+			continue
+		}
+		if !r.moveOK(rt.Segs[i].Pl, l, rt.Net) {
+			continue
+		}
+		merged := mergePolylines(rt.Segs[i-1].Pl, rt.Segs[i].Pl, rt.Segs[i+1].Pl)
+		if len(merged) < 2 {
+			continue
+		}
+		before := wireRuleCount(rt.Segs[i-1].Pl, r.rules) +
+			wireRuleCount(rt.Segs[i].Pl, r.rules) +
+			wireRuleCount(rt.Segs[i+1].Pl, r.rules)
+		if wireRuleCount(merged, r.rules) > before {
+			continue
+		}
+		oldLayer := rt.Segs[i].Layer
+		rt.Segs[i-1] = RouteSeg{Layer: l, Pl: merged}
+		rt.Segs = append(rt.Segs[:i], rt.Segs[i+2:]...)
+		// Vias[i-1] and Vias[i] joined the folded segment to its
+		// neighbours; both disappear with it.
+		rt.Vias = append(rt.Vias[:i-1], rt.Vias[i+1:]...)
+		r.refreshSegs(routes, l)
+		r.refreshSegs(routes, oldLayer)
+		r.refreshVias(routes)
+		return true
+	}
+	return false
+}
+
+// ReassignRoutes folds avoidable layer detours in place and returns the
+// pass statistics. Routes are processed serially in net-ID order and each
+// net is folded to a fixpoint, so the result does not depend on any worker
+// pool: given byte-identical input routes, the output is byte-identical.
+func ReassignRoutes(routes []*Route, d *design.Design) ReassignStats {
+	var st ReassignStats
+	for _, rt := range routes {
+		if rt != nil {
+			st.ViasBefore += len(rt.Vias)
+		}
+	}
+	r := newReassigner(routes, d)
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		changed := false
+		for r.foldOne(routes, rt) {
+			changed = true
+			st.SegmentsMerged++
+		}
+		if changed {
+			st.NetsChanged++
+		}
+	}
+	for _, rt := range routes {
+		if rt != nil {
+			st.ViasAfter += len(rt.Vias)
+		}
+	}
+	return st
+}

@@ -1,0 +1,170 @@
+package detail
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// reassignDesign builds a minimal two-layer design for synthetic routes.
+func reassignDesign() *design.Design {
+	return &design.Design{
+		Name:    "reassign",
+		Rules:   design.DefaultRules(),
+		Outline: geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 1000)},
+		// Net entries keep GroupOf distinct per net (out-of-range IDs all
+		// map to one sentinel group, which would disable spacing checks).
+		Nets:       []design.Net{{ID: 0}, {ID: 1}, {ID: 2}},
+		WireLayers: 2,
+	}
+}
+
+// sandwichRoute is a net that detours through layer 1 between two layer-0
+// segments: the canonical foldable pattern (two avoidable vias).
+func sandwichRoute(net int) *Route {
+	return &Route{
+		Net: net,
+		Segs: []RouteSeg{
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(100, 500), geom.Pt(300, 500)}},
+			{Layer: 1, Pl: geom.Polyline{geom.Pt(300, 500), geom.Pt(600, 500)}},
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(600, 500), geom.Pt(900, 500)}},
+		},
+		Vias: []ViaUse{
+			{Pos: geom.Pt(300, 500), Layer: 0},
+			{Pos: geom.Pt(600, 500), Layer: 0},
+		},
+	}
+}
+
+func TestReassignFoldsSandwich(t *testing.T) {
+	routes := []*Route{sandwichRoute(0)}
+	st := ReassignRoutes(routes, reassignDesign())
+	rt := routes[0]
+	if len(rt.Segs) != 1 || len(rt.Vias) != 0 {
+		t.Fatalf("fold left %d segs, %d vias; want 1 seg, 0 vias", len(rt.Segs), len(rt.Vias))
+	}
+	if rt.Segs[0].Layer != 0 {
+		t.Errorf("merged segment on layer %d, want 0", rt.Segs[0].Layer)
+	}
+	want := geom.Polyline{geom.Pt(100, 500), geom.Pt(900, 500)}
+	if len(rt.Segs[0].Pl) != 2 || !rt.Segs[0].Pl[0].ApproxEq(want[0]) || !rt.Segs[0].Pl[1].ApproxEq(want[1]) {
+		t.Errorf("merged polyline %v, want %v", rt.Segs[0].Pl, want)
+	}
+	if st.ViasBefore != 2 || st.ViasAfter != 0 || st.SegmentsMerged != 1 || st.NetsChanged != 1 {
+		t.Errorf("stats %+v, want 2 before, 0 after, 1 merged, 1 net", st)
+	}
+}
+
+func TestReassignRespectsSpacing(t *testing.T) {
+	d := reassignDesign()
+	// Another net's layer-0 wire runs 2 µm from the detour's path: folding
+	// onto layer 0 would violate the 4 µm clearance.
+	blocker := &Route{
+		Net:  1,
+		Segs: []RouteSeg{{Layer: 0, Pl: geom.Polyline{geom.Pt(350, 502), geom.Pt(550, 502)}}},
+	}
+	routes := []*Route{sandwichRoute(0), blocker}
+	st := ReassignRoutes(routes, d)
+	if st.SegmentsMerged != 0 {
+		t.Errorf("fold accepted across another net's clearance: %+v", st)
+	}
+	if got := len(routes[0].Vias); got != 2 {
+		t.Errorf("vias = %d, want 2 (unchanged)", got)
+	}
+
+	// The same blocker on layer 1 does not constrain a fold onto layer 0.
+	blocker.Segs[0].Layer = 1
+	// Keep it clear of the detour's own layer-1 geometry.
+	blocker.Segs[0].Pl = geom.Polyline{geom.Pt(350, 540), geom.Pt(550, 540)}
+	routes = []*Route{sandwichRoute(0), blocker}
+	if st := ReassignRoutes(routes, d); st.SegmentsMerged != 1 {
+		t.Errorf("fold rejected with no layer-0 conflict: %+v", st)
+	}
+}
+
+func TestReassignRespectsVias(t *testing.T) {
+	d := reassignDesign()
+	// Another net's via touches layer 0 within the via-wire limit
+	// (w_v/2 + w_s + w/2 = 5.5 µm) of the folded geometry.
+	blocker := &Route{
+		Net: 1,
+		Segs: []RouteSeg{
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(450, 505), geom.Pt(450, 900)}},
+			{Layer: 1, Pl: geom.Polyline{geom.Pt(450, 505), geom.Pt(900, 900)}},
+		},
+		Vias: []ViaUse{{Pos: geom.Pt(450, 505), Layer: 0}},
+	}
+	// Fix the via ordering invariant: Vias[0] joins Segs[0] and Segs[1] at
+	// their shared start, so reverse the first polyline.
+	blocker.Segs[0].Pl = geom.Polyline{geom.Pt(450, 900), geom.Pt(450, 505)}
+	routes := []*Route{sandwichRoute(0), blocker}
+	if st := ReassignRoutes(routes, d); st.SegmentsMerged != 0 {
+		t.Errorf("fold accepted within another net's via clearance: %+v", st)
+	}
+}
+
+func TestReassignRespectsObstacle(t *testing.T) {
+	d := reassignDesign()
+	if err := d.AddObstacle(design.Obstacle{
+		Name:   "keepout",
+		Rect:   geom.Rect{Min: geom.Pt(400, 490), Max: geom.Pt(500, 510)},
+		Layers: []int{0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	routes := []*Route{sandwichRoute(0)}
+	if st := ReassignRoutes(routes, d); st.SegmentsMerged != 0 {
+		t.Errorf("fold accepted through a layer-0 keep-out: %+v", st)
+	}
+}
+
+func TestReassignRejectsWireRuleRegressions(t *testing.T) {
+	d := reassignDesign()
+	// The detour doubles back: folding it in would put a 135° turn at the
+	// junction, a turn the per-segment DRC never saw. The fold must be
+	// rejected even though nothing else conflicts.
+	rt := &Route{
+		Net: 0,
+		Segs: []RouteSeg{
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(100, 500), geom.Pt(300, 500)}},
+			{Layer: 1, Pl: geom.Polyline{geom.Pt(300, 500), geom.Pt(200, 600)}},
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(200, 600), geom.Pt(100, 700)}},
+		},
+		Vias: []ViaUse{
+			{Pos: geom.Pt(300, 500), Layer: 0},
+			{Pos: geom.Pt(200, 600), Layer: 0},
+		},
+	}
+	if st := ReassignRoutes([]*Route{rt}, d); st.SegmentsMerged != 0 {
+		t.Errorf("fold accepted despite a new angle violation: %+v", st)
+	}
+}
+
+func TestReassignChainsFolds(t *testing.T) {
+	// Two detours on one net: both fold, one at a time, to a single
+	// layer-0 segment.
+	rt := &Route{
+		Net: 0,
+		Segs: []RouteSeg{
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(100, 500), geom.Pt(200, 500)}},
+			{Layer: 1, Pl: geom.Polyline{geom.Pt(200, 500), geom.Pt(400, 500)}},
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(400, 500), geom.Pt(600, 500)}},
+			{Layer: 1, Pl: geom.Polyline{geom.Pt(600, 500), geom.Pt(800, 500)}},
+			{Layer: 0, Pl: geom.Polyline{geom.Pt(800, 500), geom.Pt(900, 500)}},
+		},
+		Vias: []ViaUse{
+			{Pos: geom.Pt(200, 500), Layer: 0},
+			{Pos: geom.Pt(400, 500), Layer: 0},
+			{Pos: geom.Pt(600, 500), Layer: 0},
+			{Pos: geom.Pt(800, 500), Layer: 0},
+		},
+	}
+	st := ReassignRoutes([]*Route{rt}, reassignDesign())
+	if st.SegmentsMerged != 2 || st.ViasAfter != 0 {
+		t.Errorf("stats %+v, want 2 folds and 0 vias left", st)
+	}
+	if len(rt.Segs) != 1 || len(rt.Vias) != 0 {
+		t.Errorf("route left with %d segs, %d vias", len(rt.Segs), len(rt.Vias))
+	}
+}

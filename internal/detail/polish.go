@@ -59,9 +59,9 @@ func newPolisher(routes []*Route, d *design.Design) *polisher {
 			}
 		}
 		for _, v := range rt.Vias {
-			// A via touches the wire layers above and below it.
-			p.layerVias[v.UpperLayer] = append(p.layerVias[v.UpperLayer], netVia{rt.Net, v.Pos})
-			p.layerVias[v.UpperLayer+1] = append(p.layerVias[v.UpperLayer+1], netVia{rt.Net, v.Pos})
+			// Via layer k touches wire layers k and k+1.
+			p.layerVias[v.Layer] = append(p.layerVias[v.Layer], netVia{rt.Net, v.Pos})
+			p.layerVias[v.Layer+1] = append(p.layerVias[v.Layer+1], netVia{rt.Net, v.Pos})
 		}
 	}
 	return p

@@ -382,6 +382,11 @@ func (r *Router) expandVia(sc *searchScratch, st searchState, si int32, net int)
 			if !isStart && arrivedCross {
 				continue // no double layer hop through one via pair
 			}
+			// Per-net layer constraint: a static design property, checked
+			// before the capacity reads so it never enters the read set.
+			if !r.G.LayerAllowed(net, r.G.Node(adj.To).Layer) {
+				continue
+			}
 			sc.readLink(adj.Link)
 			if r.linkUse[adj.Link] >= link.Cap {
 				sc.blockLink(adj.Link)

@@ -147,8 +147,12 @@ type Graph struct {
 // Options tunes graph construction.
 type Options struct {
 	// ViaCost is the extra path cost of a cross-via link, discouraging
-	// gratuitous layer changes. Zero selects a default of 4× the via width.
-	ViaCost float64
+	// gratuitous layer changes. Nil selects a default of 4× the via width;
+	// a pointer to 0 makes layer changes genuinely free (a plain zero field
+	// used to be indistinguishable from "unset" and was silently clobbered
+	// by the default). Negative values clamp to 0. Use ViaCostPtr /
+	// ViaCostValue to convert to and from the flat wire encoding.
+	ViaCost *float64
 	// NaiveCornerCapacity disables the Eq. 2 effective-length model and
 	// instead caps each cross-tile edge at the smaller Eq. 1 capacity of its
 	// two edge nodes. Used by the ablation benchmarks: this is the
@@ -157,6 +161,47 @@ type Options struct {
 	// Rec receives the stage's size counters. Nil selects the no-op
 	// recorder.
 	Rec obs.Recorder
+}
+
+// ResolvedViaCost returns the effective cross-via link cost: the default
+// 4×ViaWidth when ViaCost is nil, otherwise *ViaCost clamped to ≥ 0.
+func (o Options) ResolvedViaCost(rules design.Rules) float64 {
+	if o.ViaCost == nil {
+		return 4 * rules.ViaWidth
+	}
+	if c := *o.ViaCost; c > 0 {
+		return c
+	}
+	return 0
+}
+
+// ViaCostValue flattens a ViaCost pointer into the wire encoding used by
+// router specs: 0 means "use the default", a positive value is an explicit
+// cost, and any negative value means "free" (explicit zero cost).
+func ViaCostValue(p *float64) float64 {
+	switch {
+	case p == nil:
+		return 0
+	case *p > 0:
+		return *p
+	default:
+		return -1
+	}
+}
+
+// ViaCostPtr expands the wire encoding back into a ViaCost pointer: 0 maps
+// to nil (default), positive values to themselves, negative values to an
+// explicit zero (free vias).
+func ViaCostPtr(v float64) *float64 {
+	switch {
+	case v == 0:
+		return nil
+	case v > 0:
+		return &v
+	default:
+		zero := 0.0
+		return &zero
+	}
 }
 
 // EdgeNodeCapacity implements Eq. 1: ⌊d(v_i, v_j) / (w_w + w_s)⌋.
@@ -192,9 +237,7 @@ func CornerCapacity(v, a, b geom.Point, rules design.Rules) int {
 
 // Build constructs the routing graph for a design and its via plan.
 func Build(d *design.Design, plan *viaplan.Plan, opt Options) (*Graph, error) {
-	if opt.ViaCost <= 0 {
-		opt.ViaCost = 4 * d.Rules.ViaWidth
-	}
+	viaCost := opt.ResolvedViaCost(d.Rules)
 	g := &Graph{
 		Design:  d,
 		Plan:    plan,
@@ -316,7 +359,7 @@ func Build(d *design.Design, plan *viaplan.Plan, opt Options) (*Graph, error) {
 			return nil, fmt.Errorf("rgraph: via %d missing a layer node", v.ID)
 		}
 		addLink(Link{Kind: CrossVia, A: a, B: b, Cap: 1, Layer: v.Layer, Tile: -1,
-			Corner: -1, Len: opt.ViaCost})
+			Corner: -1, Len: viaCost})
 	}
 
 	// Per-tile access-via and cross-tile links.
@@ -387,6 +430,13 @@ func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[id] }
 
 // Link returns the link with the given ID.
 func (g *Graph) Link(id int) *Link { return &g.Links[id] }
+
+// LayerAllowed reports whether a net may place wires on a wire layer,
+// delegating to the design's per-net MaxLayers constraint. The global
+// router consults it before descending through a cross-via link.
+func (g *Graph) LayerAllowed(netID, layer int) bool {
+	return g.Design.LayerAllowed(netID, layer)
+}
 
 // NetPins returns the source and target via nodes of a net.
 func (g *Graph) NetPins(n design.Net) (NodeID, NodeID, error) {

@@ -1,0 +1,45 @@
+package router
+
+import (
+	"context"
+	"testing"
+
+	"rdlroute/internal/design"
+)
+
+// TestMaxLayersHonored routes dense1 with several nets pinned to the top
+// wire layer and checks the constraint end to end: constrained nets come
+// out with every segment on layer 0 and no vias, while the run as a whole
+// still routes.
+func TestMaxLayersHonored(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := []int{0, 3, 7}
+	for _, id := range pinned {
+		d.Nets[id].MaxLayers = 1
+	}
+	out, err := Route(context.Background(), d, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.RoutedNets == 0 {
+		t.Fatal("nothing routed")
+	}
+	for _, id := range pinned {
+		rt := out.DetailResult.Routes[id]
+		if rt == nil {
+			t.Errorf("net %d (MaxLayers=1) not routed", id)
+			continue
+		}
+		if len(rt.Vias) != 0 {
+			t.Errorf("net %d (MaxLayers=1) uses %d vias", id, len(rt.Vias))
+		}
+		for _, s := range rt.Segs {
+			if s.Layer != 0 {
+				t.Errorf("net %d (MaxLayers=1) has a segment on layer %d", id, s.Layer)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/detail"
+	"rdlroute/internal/stats"
+)
+
+func routeDense(t *testing.T, name string, opt Options) *Output {
+	t.Helper()
+	d, err := design.GenerateDense(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Route(context.Background(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReassignReducesViasOnDenseBenchmarks pins the layer-reassignment
+// pass's acceptance bar end to end: across the dense suite it strictly
+// reduces the total via count on several benchmarks, never increases any
+// DRC or verification finding count, and leaves every route satisfying the
+// segments/vias invariant.
+func TestReassignReducesViasOnDenseBenchmarks(t *testing.T) {
+	names := []string{"dense1", "dense2", "dense3", "dense4", "dense5"}
+	minReduced := 3
+	if testing.Short() {
+		names = names[:3] // dense3 is the smallest benchmark that folds
+		minReduced = 1
+	}
+	reduced := 0
+	for _, name := range names {
+		off := routeDense(t, name, Options{Verify: VerifyWarn, Detail: detail.Options{SkipReassign: true}})
+		on := routeDense(t, name, Options{Verify: VerifyWarn})
+		if on.Metrics.Vias > off.Metrics.Vias {
+			t.Errorf("%s: reassignment increased vias %d -> %d", name, off.Metrics.Vias, on.Metrics.Vias)
+		}
+		if on.Metrics.Vias < off.Metrics.Vias {
+			reduced++
+		}
+		if on.Metrics.ViasBeforeReassign != off.Metrics.Vias {
+			t.Errorf("%s: ViasBeforeReassign = %d, want the skip-pass count %d",
+				name, on.Metrics.ViasBeforeReassign, off.Metrics.Vias)
+		}
+		if on.Metrics.DRCViolations > off.Metrics.DRCViolations {
+			t.Errorf("%s: reassignment added DRC findings %d -> %d",
+				name, off.Metrics.DRCViolations, on.Metrics.DRCViolations)
+		}
+		if on.Metrics.VerifyFindings > off.Metrics.VerifyFindings {
+			t.Errorf("%s: reassignment added verify findings %d -> %d",
+				name, off.Metrics.VerifyFindings, on.Metrics.VerifyFindings)
+		}
+		if on.Metrics.Routability < off.Metrics.Routability {
+			t.Errorf("%s: reassignment lost routability %v -> %v",
+				name, off.Metrics.Routability, on.Metrics.Routability)
+		}
+		for net, rt := range on.DetailResult.Routes {
+			if rt == nil {
+				continue
+			}
+			if len(rt.Segs) != len(rt.Vias)+1 {
+				t.Errorf("%s net %d: %d segs with %d vias after reassignment",
+					name, net, len(rt.Segs), len(rt.Vias))
+			}
+		}
+	}
+	if reduced < minReduced {
+		t.Errorf("reassignment reduced vias on %d of %d benchmarks, want >= %d",
+			reduced, len(names), minReduced)
+	}
+}
+
+// TestViaAccountingDifferential asserts the two independent via counters
+// agree — stats.Analyze walks the route geometry while Metrics.Vias is
+// summed by the router's epilogue — on every dense benchmark, and that the
+// per-via-layer histogram is pinned across Parallelism. Run under -race by
+// the race gate.
+func TestViaAccountingDifferential(t *testing.T) {
+	names := []string{"dense1", "dense2", "dense3", "dense4", "dense5"}
+	pars := []int{1, 2, 4, 8}
+	if testing.Short() {
+		names = names[:2]
+		pars = []int{1, 4}
+	}
+	for _, name := range names {
+		var ref map[int]int
+		for _, p := range pars {
+			out := routeDense(t, name, Options{Parallelism: p})
+			rep := stats.Analyze(out.DetailResult.Routes)
+			if rep.ViaTotal != out.Metrics.Vias {
+				t.Errorf("%s parallelism=%d: stats counts %d vias, router metrics %d",
+					name, p, rep.ViaTotal, out.Metrics.Vias)
+			}
+			if ref == nil {
+				ref = rep.Vias
+				continue
+			}
+			if fmt.Sprint(rep.Vias) != fmt.Sprint(ref) {
+				t.Errorf("%s parallelism=%d: via histogram %v differs from serial %v",
+					name, p, rep.Vias, ref)
+			}
+		}
+	}
+}

@@ -103,8 +103,13 @@ type Metrics struct {
 	// a lower bound (the paper's '>' notation).
 	Wirelength     float64
 	WirelengthIsLB bool
-	// Vias is the number of vias used by routed nets.
+	// Vias is the number of vias used by routed nets (after the detail
+	// stage's layer-reassignment pass).
 	Vias int
+	// ViasBeforeReassign is the via count the routes carried before the
+	// layer-reassignment pass; equal to Vias when the pass is skipped or
+	// found nothing to fold.
+	ViasBeforeReassign int
 	// Runtime is the wall-clock routing time (graph build included).
 	Runtime time.Duration
 	// TimedOut reports whether a deadline — the TimeBudget or one already
@@ -158,6 +163,11 @@ func Route(ctx context.Context, d *design.Design, opt Options) (*Output, error) 
 	vopt := opt.Via
 	if vopt.Rec == nil {
 		vopt.Rec = rec
+	}
+	if vopt.ViaCost == 0 {
+		// Let the graph's via objective bias the candidate lattice density
+		// unless the via planner was given its own knob.
+		vopt.ViaCost = rgraph.ViaCostValue(opt.Graph.ViaCost)
 	}
 	span := obs.StartSpan(rec, "viaplan")
 	plan, err := viaplan.Build(d, vopt)
@@ -235,6 +245,10 @@ func finish(ctx context.Context, d *design.Design, g *rgraph.Graph,
 			m.RoutedNets++
 			m.Vias += len(rt.Vias)
 		}
+	}
+	m.ViasBeforeReassign = m.Vias
+	if dres.Reassign.ViasBefore > 0 {
+		m.ViasBeforeReassign = dres.Reassign.ViasBefore
 	}
 	m.Routability = gres.Routability()
 	m.Wirelength = dres.Wirelength

@@ -95,15 +95,22 @@ func (s *OptionsSpec) Validate() error {
 	return nil
 }
 
-// ViaSpec mirrors viaplan.Options (minus the recorder).
+// ViaSpec mirrors viaplan.Options (minus the recorder). ViaCost uses the
+// same flat encoding as GraphSpec.ViaCost; omitempty keeps legacy cache
+// keys byte-identical when it is unset.
 type ViaSpec struct {
 	ViaPitch     float64 `json:"via_pitch"`
 	BoundaryStep float64 `json:"boundary_step"`
 	JitterFrac   float64 `json:"jitter_frac"`
 	Seed         int64   `json:"seed"`
+	ViaCost      float64 `json:"via_cost,omitempty"`
 }
 
-// GraphSpec mirrors rgraph.Options (minus the recorder).
+// GraphSpec mirrors rgraph.Options (minus the recorder). ViaCost is the
+// flat wire encoding of the rgraph.Options.ViaCost pointer (see
+// rgraph.ViaCostValue): 0 selects the default cost, positive values are
+// explicit, and negative values mean free vias — keeping the legacy
+// "via_cost":0 cache-key bytes for specs that never set the knob.
 type GraphSpec struct {
 	ViaCost             float64 `json:"via_cost"`
 	NaiveCornerCapacity bool    `json:"naive_corner_capacity"`
@@ -120,13 +127,16 @@ type GlobalSpec struct {
 	EdgeUsePerNet             int     `json:"edge_use_per_net"`
 }
 
-// DetailSpec mirrors detail.Options (minus the recorder).
+// DetailSpec mirrors detail.Options (minus the recorder). SkipReassign is
+// omitempty so specs predating the layer-reassignment pass keep their exact
+// legacy cache-key bytes.
 type DetailSpec struct {
-	Candidates  int     `json:"candidates"`
-	MinMovable  float64 `json:"min_movable"`
-	MaxFitIters int     `json:"max_fit_iters"`
-	Retries     int     `json:"retries"`
-	SkipAdjust  bool    `json:"skip_adjust"`
+	Candidates   int     `json:"candidates"`
+	MinMovable   float64 `json:"min_movable"`
+	MaxFitIters  int     `json:"max_fit_iters"`
+	Retries      int     `json:"retries"`
+	SkipAdjust   bool    `json:"skip_adjust"`
+	SkipReassign bool    `json:"skip_reassign,omitempty"`
 }
 
 // Spec projects the deterministic configuration out of o. Recorders and
@@ -139,9 +149,10 @@ func (o Options) Spec() OptionsSpec {
 			BoundaryStep: o.Via.BoundaryStep,
 			JitterFrac:   o.Via.JitterFrac,
 			Seed:         o.Via.Seed,
+			ViaCost:      o.Via.ViaCost,
 		},
 		Graph: GraphSpec{
-			ViaCost:             o.Graph.ViaCost,
+			ViaCost:             rgraph.ViaCostValue(o.Graph.ViaCost),
 			NaiveCornerCapacity: o.Graph.NaiveCornerCapacity,
 		},
 		Global: GlobalSpec{
@@ -153,11 +164,12 @@ func (o Options) Spec() OptionsSpec {
 			EdgeUsePerNet:             o.Global.EdgeUsePerNet,
 		},
 		Detail: DetailSpec{
-			Candidates:  o.Detail.Candidates,
-			MinMovable:  o.Detail.MinMovable,
-			MaxFitIters: o.Detail.MaxFitIters,
-			Retries:     o.Detail.Retries,
-			SkipAdjust:  o.Detail.SkipAdjust,
+			Candidates:   o.Detail.Candidates,
+			MinMovable:   o.Detail.MinMovable,
+			MaxFitIters:  o.Detail.MaxFitIters,
+			Retries:      o.Detail.Retries,
+			SkipAdjust:   o.Detail.SkipAdjust,
+			SkipReassign: o.Detail.SkipReassign,
 		},
 		TimeBudgetMS:    o.TimeBudget.Milliseconds(),
 		Verify:          o.Verify,
@@ -177,9 +189,10 @@ func (s OptionsSpec) Options() Options {
 			BoundaryStep: s.Via.BoundaryStep,
 			JitterFrac:   s.Via.JitterFrac,
 			Seed:         s.Via.Seed,
+			ViaCost:      s.Via.ViaCost,
 		},
 		Graph: rgraph.Options{
-			ViaCost:             s.Graph.ViaCost,
+			ViaCost:             rgraph.ViaCostPtr(s.Graph.ViaCost),
 			NaiveCornerCapacity: s.Graph.NaiveCornerCapacity,
 		},
 		Global: global.Options{
@@ -191,11 +204,12 @@ func (s OptionsSpec) Options() Options {
 			EdgeUsePerNet:             s.Global.EdgeUsePerNet,
 		},
 		Detail: detail.Options{
-			Candidates:  s.Detail.Candidates,
-			MinMovable:  s.Detail.MinMovable,
-			MaxFitIters: s.Detail.MaxFitIters,
-			Retries:     s.Detail.Retries,
-			SkipAdjust:  s.Detail.SkipAdjust,
+			Candidates:   s.Detail.Candidates,
+			MinMovable:   s.Detail.MinMovable,
+			MaxFitIters:  s.Detail.MaxFitIters,
+			Retries:      s.Detail.Retries,
+			SkipAdjust:   s.Detail.SkipAdjust,
+			SkipReassign: s.Detail.SkipReassign,
 		},
 		TimeBudget:      time.Duration(s.TimeBudgetMS) * time.Millisecond,
 		Verify:          s.Verify,

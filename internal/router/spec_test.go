@@ -7,13 +7,14 @@ import (
 	"time"
 
 	"rdlroute/internal/obs"
+	"rdlroute/internal/rgraph"
 )
 
 func TestOptionsSpecRoundTrip(t *testing.T) {
 	opt := Options{TimeBudget: 1500 * time.Millisecond}
 	opt.Via.Seed = 42
 	opt.Via.ViaPitch = 100
-	opt.Graph.ViaCost = 7
+	opt.Graph.ViaCost = rgraph.ViaCostPtr(7)
 	opt.Graph.NaiveCornerCapacity = true
 	opt.Global.MaxExpansions = 1234
 	opt.Global.DisableRUDYOrder = true
@@ -21,8 +22,13 @@ func TestOptionsSpecRoundTrip(t *testing.T) {
 	opt.Detail.SkipAdjust = true
 
 	got := opt.Spec().Options()
-	if got.Via != opt.Via || got.Graph != opt.Graph || got.Detail != opt.Detail {
+	if got.Via != opt.Via || got.Detail != opt.Detail {
 		t.Errorf("round trip changed stage options:\n got %+v\nwant %+v", got, opt)
+	}
+	// Graph carries a pointer field, so compare the resolved value.
+	if rgraph.ViaCostValue(got.Graph.ViaCost) != rgraph.ViaCostValue(opt.Graph.ViaCost) ||
+		got.Graph.NaiveCornerCapacity != opt.Graph.NaiveCornerCapacity {
+		t.Errorf("round trip changed graph options:\n got %+v\nwant %+v", got.Graph, opt.Graph)
 	}
 	// global.Options carries a func field, and the spec a slice field, so
 	// compare the canonical byte encodings.

@@ -26,8 +26,16 @@ type Report struct {
 	// Wirelength totals.
 	Wirelength float64
 	PerLayerWL map[int]float64
-	// Vias per via layer (key = upper wire layer).
+	// Vias per via layer (key = via layer index; via layer k joins wire
+	// layers k and k+1, matching detail.ViaUse.Layer).
 	Vias map[int]int
+	// ViaTotal is the sum over Vias — the canonical via count of the result.
+	ViaTotal int
+	// LayerBalance is max per-layer wirelength divided by mean per-layer
+	// wirelength over the layers that carry any wire (1.0 = perfectly
+	// balanced; large values mean one layer dominates). Zero when nothing
+	// is routed.
+	LayerBalance float64
 	// AngleHist counts segments by direction modulo 180°, in
 	// AngleBucketDeg buckets: index i covers [i·5°, i·5°+5°).
 	AngleHist [180 / AngleBucketDeg]int
@@ -52,7 +60,8 @@ func Analyze(routes []*detail.Route) *Report {
 		}
 		r.Nets++
 		for _, v := range rt.Vias {
-			r.Vias[v.UpperLayer]++
+			r.Vias[v.Layer]++
+			r.ViaTotal++
 		}
 		for _, seg := range rt.Segs {
 			r.Vertices += len(seg.Pl)
@@ -81,10 +90,37 @@ func Analyze(routes []*detail.Route) *Report {
 	if len(lengths) > 0 {
 		sort.Float64s(lengths)
 		r.SegLenP50 = lengths[len(lengths)/2]
-		r.SegLenP90 = lengths[len(lengths)*9/10]
+		r.SegLenP90 = lengths[percentileIndex(len(lengths), 0.9)]
 		r.SegLenMax = lengths[len(lengths)-1]
 	}
+	if len(r.PerLayerWL) > 0 {
+		var sum, max float64
+		for _, wl := range r.PerLayerWL {
+			sum += wl
+			if wl > max {
+				max = wl
+			}
+		}
+		if sum > 0 {
+			mean := sum / float64(len(r.PerLayerWL))
+			r.LayerBalance = max / mean
+		}
+	}
 	return r
+}
+
+// percentileIndex returns the nearest-rank index of the p-th percentile in a
+// sorted sample of n elements: ceil(p·n)-1. The previous floor formulation
+// (n·9/10) over-shot small samples — e.g. n=5 gave index 4, the maximum.
+func percentileIndex(n int, p float64) int {
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
 }
 
 // isOctilinear reports whether a direction (degrees in [0, 180)) lies on an
@@ -118,11 +154,15 @@ func (r *Report) Print(w io.Writer) {
 		total += c
 	}
 	sort.Ints(vlayers)
+	// V<k>-<k+1> labels the two wire layers joined by via layer k.
 	fmt.Fprintf(w, "vias %d", total)
 	for _, l := range vlayers {
 		fmt.Fprintf(w, "  V%d-%d=%d", l, l+1, r.Vias[l])
 	}
 	fmt.Fprintln(w)
+	if r.LayerBalance > 0 {
+		fmt.Fprintf(w, "layer balance %.2f (max/mean per-layer wirelength)\n", r.LayerBalance)
+	}
 	fmt.Fprintf(w, "segment length p50 %.1f µm, p90 %.1f µm, max %.1f µm\n",
 		r.SegLenP50, r.SegLenP90, r.SegLenMax)
 	fmt.Fprintf(w, "octilinear segments %.1f%% (the rest are true any-angle)\n",

@@ -81,7 +81,8 @@ func Render(w io.Writer, d *design.Design, routes []*detail.Route, opt Options) 
 		}
 		if opt.ShowVias {
 			for _, v := range rt.Vias {
-				if v.UpperLayer != opt.Layer && v.UpperLayer+1 != opt.Layer {
+				// A via on via layer k touches wire layers k and k+1.
+				if v.Layer != opt.Layer && v.Layer+1 != opt.Layer {
 					continue
 				}
 				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",

@@ -17,7 +17,7 @@ func sampleRoutes() []*detail.Route {
 				{Layer: 0, Pl: geom.Polyline{geom.Pt(100, 100), geom.Pt(500, 400)}},
 				{Layer: 1, Pl: geom.Polyline{geom.Pt(500, 400), geom.Pt(900, 400)}},
 			},
-			Vias: []detail.ViaUse{{Pos: geom.Pt(500, 400), UpperLayer: 0}},
+			Vias: []detail.ViaUse{{Pos: geom.Pt(500, 400), Layer: 0}},
 		},
 		nil, // unrouted nets are tolerated
 	}

@@ -185,13 +185,13 @@ func Check(d *design.Design, routes []*detail.Route, opt Options) *Report {
 			continue
 		}
 		for _, v := range rt.Vias {
-			vias = append(vias, viaRef{net: rt.Net, upper: v.UpperLayer, pos: v.Pos})
+			vias = append(vias, viaRef{net: rt.Net, layer: v.Layer, pos: v.Pos})
 		}
 	}
 	// Per-layer wire view shared read-only by the via-wire units.
 	layerLines := make(map[int][]detail.RouteOnLayer)
 	for _, v := range vias {
-		for _, layer := range []int{v.upper, v.upper + 1} {
+		for _, layer := range []int{v.layer, v.layer + 1} {
 			if _, ok := layerLines[layer]; !ok {
 				layerLines[layer] = detail.SegmentsOnLayer(routes, layer)
 			}
@@ -316,13 +316,13 @@ func connectivityUnit(d *design.Design, routes []*detail.Route, lo, hi int) []Pr
 // viaRef is one via flattened out of its route for the pairwise checks.
 type viaRef struct {
 	net   int
-	upper int
+	layer int // via layer index: joins wire layers layer and layer+1
 	pos   geom.Point
 }
 
 // viaViaUnit checks vias[lo:hi] against every later via. A via spans two
-// wire layers; vias of different nets conflict when they share the upper
-// layer and sit closer than w_v + w_s.
+// wire layers; vias of different nets conflict when they sit on the same
+// via layer closer than w_v + w_s.
 func viaViaUnit(d *design.Design, vias []viaRef, lo, hi int) []Problem {
 	var out []Problem
 	viaClear := d.Rules.ViaWidth + d.Rules.MinSpacing
@@ -331,7 +331,7 @@ func viaViaUnit(d *design.Design, vias []viaRef, lo, hi int) []Problem {
 			if d.SameGroup(vias[i].net, vias[j].net) {
 				continue
 			}
-			if vias[i].upper != vias[j].upper {
+			if vias[i].layer != vias[j].layer {
 				continue // different via layers never touch
 			}
 			if dd := vias[i].pos.Dist(vias[j].pos); dd < viaClear-1e-9 {
@@ -352,7 +352,7 @@ func viaWireUnit(d *design.Design, vias []viaRef, lo, hi int,
 	layerLines map[int][]detail.RouteOnLayer) []Problem {
 	var out []Problem
 	for _, v := range vias[lo:hi] {
-		for _, layer := range []int{v.upper, v.upper + 1} {
+		for _, layer := range []int{v.layer, v.layer + 1} {
 			for _, rl := range layerLines[layer] {
 				if d.SameGroup(rl.Net, v.net) {
 					continue

@@ -87,7 +87,7 @@ func TestVerifyDetectsPlantedProblems(t *testing.T) {
 	savedSegEnd := nb.Segs[0].Pl[len(nb.Segs[0].Pl)-1]
 	savedNextStart := nb.Segs[1].Pl[0]
 	nb.Vias[0].Pos = na.Vias[0].Pos
-	nb.Vias[0].UpperLayer = na.Vias[0].UpperLayer
+	nb.Vias[0].Layer = na.Vias[0].Layer
 	nb.Segs[0].Pl[len(nb.Segs[0].Pl)-1] = na.Vias[0].Pos
 	nb.Segs[1].Pl[0] = na.Vias[0].Pos
 	rep = verify.Verify(d, routes)
@@ -135,7 +135,7 @@ func TestVerifyViaWirePlanted(t *testing.T) {
 			continue
 		}
 		for _, s := range rt.Segs {
-			if s.Layer == target.UpperLayer {
+			if s.Layer == target.Layer {
 				other = rt
 			}
 		}
@@ -147,7 +147,7 @@ func TestVerifyViaWirePlanted(t *testing.T) {
 		t.Skip("no other net on the via's layer")
 	}
 	for si := range other.Segs {
-		if other.Segs[si].Layer != target.UpperLayer {
+		if other.Segs[si].Layer != target.Layer {
 			continue
 		}
 		mid := len(other.Segs[si].Pl) / 2

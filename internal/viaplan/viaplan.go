@@ -10,6 +10,7 @@ package viaplan
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"rdlroute/internal/design"
@@ -94,6 +95,13 @@ type Options struct {
 	JitterFrac float64
 	// Seed drives the deterministic jitter.
 	Seed int64
+	// ViaCost biases the candidate lattice density toward the router's via
+	// objective, using the flat wire encoding of rgraph.ViaCostValue: 0
+	// leaves the default pitch untouched, a positive value is the explicit
+	// cross-via cost (pricier vias thin the lattice), and a negative value
+	// means free vias (densest lattice). Ignored when ViaPitch is set
+	// explicitly.
+	ViaCost float64
 	// Rec receives the stage's size counters. Nil selects the no-op
 	// recorder.
 	Rec obs.Recorder
@@ -104,6 +112,24 @@ func (o Options) withDefaults(rules design.Rules) Options {
 		// Roughly 30 wire tracks between neighbouring vias: dense enough
 		// for detours, sparse enough to keep the graphs small.
 		o.ViaPitch = 30 * rules.Pitch()
+		if o.ViaCost != 0 {
+			// Scale the lattice with the via objective: free vias halve the
+			// pitch, a cost of 4× the default quadruples^0.5 (doubles) it.
+			// The square root keeps the via count roughly proportional to
+			// 1/cost; clamp to [0.5, 2] so extreme costs cannot degenerate
+			// the triangulation.
+			cost := o.ViaCost
+			if cost < 0 {
+				cost = 0
+			}
+			scale := math.Sqrt(cost / (4 * rules.ViaWidth))
+			if scale < 0.5 {
+				scale = 0.5
+			} else if scale > 2 {
+				scale = 2
+			}
+			o.ViaPitch *= scale
+		}
 	}
 	if o.BoundaryStep <= 0 {
 		o.BoundaryStep = 2 * o.ViaPitch

@@ -221,3 +221,33 @@ func TestVertexKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestViaCostScalesLattice checks the via-objective bias on the candidate
+// lattice: free vias densify it, expensive vias thin it, and an explicit
+// ViaPitch disables the scaling entirely.
+func TestViaCostScalesLattice(t *testing.T) {
+	d, err := design.GenerateDense("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(opt Options) int {
+		p, err := Build(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(p.Vias)
+	}
+	def := count(Options{})
+	free := count(Options{ViaCost: -1})
+	costly := count(Options{ViaCost: 100 * d.Rules.ViaWidth})
+	if free <= def {
+		t.Errorf("free vias: %d candidates, want more than default %d", free, def)
+	}
+	if costly >= def {
+		t.Errorf("costly vias: %d candidates, want fewer than default %d", costly, def)
+	}
+	pinned := count(Options{ViaPitch: 30 * d.Rules.Pitch(), ViaCost: -1})
+	if pinned != def {
+		t.Errorf("explicit ViaPitch with ViaCost: %d candidates, want default %d", pinned, def)
+	}
+}
