@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race-gate lint fmt-check bench bench-serve bench-drc bench-route fmt
+.PHONY: all tier1 tier2 race-gate lint fmt-check bench bench-serve bench-drc bench-route alloc-gate fmt
 
 all: tier1
 
@@ -66,6 +66,18 @@ bench-drc:
 bench-route:
 	BENCH_ROUTE_OUT=$(CURDIR)/BENCH_route.json \
 		$(GO) test -run '^$$' -bench 'BenchmarkGlobalRoute|BenchmarkDetailRoute|BenchmarkPortfolioRoute' -benchmem .
+
+# Allocation regression gate, locally runnable: a one-iteration pass over
+# the routing benchmarks (allocs/op is exact even at -benchtime=1x since
+# every op runs its stage cold) checked against cmd/allocgate's pinned
+# per-stage budgets. Fails on a >10% allocs/op regression; CI's bench-smoke
+# job runs the same gate. The scratch JSON is removed first so a stale file
+# can never mask a missing row.
+alloc-gate:
+	rm -f $(CURDIR)/.bench_route_smoke.json
+	BENCH_ROUTE_OUT=$(CURDIR)/.bench_route_smoke.json \
+		$(GO) test -run '^$$' -bench 'BenchmarkGlobalRoute|BenchmarkDetailRoute' -benchtime=1x .
+	$(GO) run ./cmd/allocgate -in $(CURDIR)/.bench_route_smoke.json
 
 fmt:
 	gofmt -l -w .

@@ -3,7 +3,7 @@ package detail
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"rdlroute/internal/obs"
 	"rdlroute/internal/pq"
@@ -102,7 +102,8 @@ func (d *Detailer) refreshEdgeRanges(id rgraph.NodeID) {
 	// spacing each pair needs is clearance / sin(θ) — the continuous form of
 	// the paper's perpendicular 3-segment pattern. The factor is clamped so
 	// nearly edge-parallel wires do not blow the requirement up unboundedly.
-	factor := make([]float64, len(seq))
+	factor := growSlice(d.factorBuf, len(seq))
+	d.factorBuf = factor
 	for i, net := range seq {
 		factor[i] = d.incidenceFactor(id, net)
 	}
@@ -150,7 +151,8 @@ func (d *Detailer) refreshEdgeRanges(id rgraph.NodeID) {
 func (d *Detailer) packEdge(id rgraph.NodeID, seq []int, edgeLen float64) {
 	rules := d.G.Design.Rules
 	m := len(seq)
-	sep := make([]float64, m+1) // sep[0]=start margin, sep[i]=gap before AP i, sep[m]=end margin
+	sep := growSlice(d.sepBuf, m+1) // sep[0]=start margin, sep[i]=gap before AP i, sep[m]=end margin
+	d.sepBuf = sep
 	sep[0] = (rules.ViaWidth/2 + rules.MinSpacing + d.G.Design.WidthOf(seq[0])/2) / edgeLen
 	for i := 1; i < m; i++ {
 		sep[i] = d.G.Design.Clearance(seq[i-1], seq[i]) / edgeLen
@@ -212,8 +214,26 @@ func (d *Detailer) incidenceFactor(id rgraph.NodeID, net int) float64 {
 	return worst
 }
 
+// apPosAt returns the planar position of an access point's edge node at
+// parameter t.
+//
+//rdl:noalloc
+func (d *Detailer) apPosAt(apIdx int, t float64) (x, y float64) {
+	node := d.G.Node(d.APs[apIdx].Node)
+	p := node.EndA.Lerp(node.EndB, t)
+	return p.X, p.Y
+}
+
 // runDP optimizes one partial net with the dynamic program and updates the
 // neighbours' ranges afterwards. It reports whether any point moved.
+//
+// All working storage lives in flat scratch arrays on the Detailer
+// (candidate parameters with per-stage offsets, cost/backpointer/choice
+// tables, the touched-edge set), reused across partial nets: the adjustment
+// pass is serial, so after the first few runs the DP executes without
+// growing the heap.
+//
+//rdl:noalloc
 func (d *Detailer) runDP(pn partialNet) bool {
 	ch := d.Chains[pn.net]
 	if ch == nil {
@@ -222,7 +242,7 @@ func (d *Detailer) runDP(pn partialNet) bool {
 	C := d.Opt.Candidates
 
 	// Collect the run.
-	run := make([]int, 0, pn.length)
+	run := d.dpRun[:0]
 	for e := pn.startElem; e < pn.startElem+pn.length && e < len(ch.Elems); e++ {
 		el := ch.Elems[e]
 		if el.Kind != ElemAP {
@@ -230,6 +250,7 @@ func (d *Detailer) runDP(pn partialNet) bool {
 		}
 		run = append(run, el.AP)
 	}
+	d.dpRun = run
 	if len(run) == 0 {
 		return false
 	}
@@ -240,66 +261,64 @@ func (d *Detailer) runDP(pn partialNet) bool {
 
 	// Candidate positions per AP: an even grid over the movable range plus
 	// the current position, so the DP can never pick a placement worse than
-	// what it already has.
-	cands := make([][]float64, len(run)) // parameter values
-	for i, apIdx := range run {
+	// what it already has. Stage i's parameters are ct[off[i]:off[i+1]].
+	off := d.dpCandOff[:0]
+	ct := d.dpCandT[:0]
+	off = append(off, 0)
+	for _, apIdx := range run {
 		ap := &d.APs[apIdx]
 		if ap.Fixed || ap.Hi <= ap.Lo {
-			cands[i] = []float64{ap.T}
+			ct = append(ct, ap.T)
+			off = append(off, int32(len(ct)))
 			continue
 		}
-		cs := make([]float64, 0, C+1)
+		lo := len(ct)
 		for c := 0; c < C; c++ {
-			cs = append(cs, ap.Lo+(ap.Hi-ap.Lo)*float64(c)/float64(C-1))
+			ct = append(ct, ap.Lo+(ap.Hi-ap.Lo)*float64(c)/float64(C-1))
 		}
 		onGrid := false
-		for _, v := range cs {
+		for _, v := range ct[lo:] {
 			if v == ap.T {
 				onGrid = true
 			}
 		}
 		if !onGrid {
-			cs = append(cs, ap.T)
+			ct = append(ct, ap.T)
 		}
-		cands[i] = cs
+		off = append(off, int32(len(ct)))
 	}
+	d.dpCandOff = off
+	d.dpCandT = ct
 
-	// DP over stages.
+	// DP over stages; cost and backpointers are flat, addressed by the same
+	// global candidate indices as ct.
 	n := len(run)
-	cost := make([][]float64, n)
-	back := make([][]int, n)
-	for i := range cost {
-		cost[i] = make([]float64, len(cands[i]))
-		back[i] = make([]int, len(cands[i]))
-	}
-	posOf := func(i, c int) (x, y float64) {
-		node := d.G.Node(d.APs[run[i]].Node)
-		p := node.EndA.Lerp(node.EndB, cands[i][c])
-		return p.X, p.Y
-	}
-	for c := range cands[0] {
-		x, y := posOf(0, c)
-		cost[0][c] = hypot(x-startPos.X, y-startPos.Y)
+	cost := growSlice(d.dpCost, len(ct))
+	back := growSlice(d.dpBack, len(ct))
+	d.dpCost, d.dpBack = cost, back
+	for c := off[0]; c < off[1]; c++ {
+		x, y := d.apPosAt(run[0], ct[c])
+		cost[c] = hypot(x-startPos.X, y-startPos.Y)
 	}
 	for i := 1; i < n; i++ {
-		for c := range cands[i] {
-			bestC, bestV := -1, 0.0
-			x, y := posOf(i, c)
-			for p := range cands[i-1] {
-				px, py := posOf(i-1, p)
-				v := cost[i-1][p] + hypot(x-px, y-py)
+		for c := off[i]; c < off[i+1]; c++ {
+			bestC, bestV := int32(-1), 0.0
+			x, y := d.apPosAt(run[i], ct[c])
+			for p := off[i-1]; p < off[i]; p++ {
+				px, py := d.apPosAt(run[i-1], ct[p])
+				v := cost[p] + hypot(x-px, y-py)
 				if bestC == -1 || v < bestV {
 					bestC, bestV = p, v
 				}
 			}
-			cost[i][c] = bestV
-			back[i][c] = bestC
+			cost[c] = bestV
+			back[c] = bestC
 		}
 	}
-	bestC, bestV := -1, 0.0
-	for c := range cands[n-1] {
-		x, y := posOf(n-1, c)
-		v := cost[n-1][c] + hypot(x-endPos.X, y-endPos.Y)
+	bestC, bestV := int32(-1), 0.0
+	for c := off[n-1]; c < off[n]; c++ {
+		x, y := d.apPosAt(run[n-1], ct[c])
+		v := cost[c] + hypot(x-endPos.X, y-endPos.Y)
 		if bestC == -1 || v < bestV {
 			bestC, bestV = c, v
 		}
@@ -307,32 +326,33 @@ func (d *Detailer) runDP(pn partialNet) bool {
 
 	// Apply and fix the run.
 	moved := false
-	choice := make([]int, n)
+	choice := growSlice(d.dpChoice, n)
+	d.dpChoice = choice
 	choice[n-1] = bestC
 	for i := n - 1; i > 0; i-- {
-		choice[i-1] = back[i][choice[i]]
+		choice[i-1] = back[choice[i]]
 	}
-	touched := make(map[rgraph.NodeID]bool)
+	touched := d.dpTouched[:0]
 	for i, apIdx := range run {
 		ap := &d.APs[apIdx]
-		newT := cands[i][choice[i]]
+		newT := ct[choice[i]]
 		if newT != ap.T {
 			moved = true
 		}
 		ap.T = newT
 		ap.Fixed = true
-		touched[ap.Node] = true
+		touched = append(touched, ap.Node)
 	}
+	d.dpTouched = touched
 	// Update the ranges of access points on the touched edges (the paper's
-	// single-traversal incremental update of Fig. 10). Sorted so the
-	// refresh order — which feeds back through neighbour positions into
-	// incidence factors — is deterministic.
-	ids := make([]rgraph.NodeID, 0, len(touched))
-	for id := range touched {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	for _, id := range ids {
+	// single-traversal incremental update of Fig. 10). Sorted with adjacent
+	// duplicates skipped so the refresh order — which feeds back through
+	// neighbour positions into incidence factors — is deterministic.
+	slices.Sort(touched)
+	for i, id := range touched {
+		if i > 0 && id == touched[i-1] {
+			continue
+		}
 		d.refreshEdgeRanges(id)
 	}
 	return moved

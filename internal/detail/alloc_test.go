@@ -1,0 +1,40 @@
+package detail
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDetailRunDoesNotAllocate pins the zero-allocation property of the
+// detail stage's tile-routing hot path, mirroring the global stage's
+// TestRouteSearchDoesNotAllocate: after one warm attempt has grown every
+// job's scratch buffers (fit/full polylines, per-passage route buffers,
+// routed lists, the failure buffer) to steady state, re-running tile routing
+// over the whole design must not touch the heap. This is the property that
+// makes retry attempts — which re-route every tile at enlarged clearance —
+// free of allocation churn.
+func TestDetailRunDoesNotAllocate(t *testing.T) {
+	r, gres, _ := pipeline(t, "dense1", Options{})
+	d := &Detailer{
+		G: r.G, R: r,
+		Opt:    Options{Workers: 1}.withDefaults(r.G.Design.Rules.Pitch()),
+		guides: gres.Guides,
+	}
+	if err := d.buildChains(gres.Guides); err != nil {
+		t.Fatal(err)
+	}
+	d.AdjustAccessPoints(context.Background())
+	d.buildTileJobs()
+	ctx := context.Background()
+	// Warm-up: the first attempt sizes every scratch to its high-water mark.
+	d.routeTiles(ctx, 1.0)
+
+	var failed int
+	allocs := testing.AllocsPerRun(20, func() {
+		failed = len(d.routeTiles(ctx, 1.0))
+	})
+	_ = failed
+	if allocs > 0 {
+		t.Fatalf("warm routeTiles allocated %.1f allocs/run, want 0", allocs)
+	}
+}

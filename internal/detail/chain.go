@@ -95,6 +95,36 @@ type Detailer struct {
 	dpHeapOps   int64 // partial-net heap pushes + pops
 	fitTangents int64 // successful tangent constructions (Fig. 12); atomic, tiles route concurrently
 	fitRetries  int64 // whole-pass retries with enlarged clearance
+
+	// Tile-routing state prepared once per run (see buildTileJobs): jobs in
+	// canonical order and the flat (net, chainIdx) → polyline hop index.
+	tileJobs []*tileJob
+	hopOff   []int32
+	hopPl    []geom.Polyline
+	failBuf  []*tilePassage
+
+	// DP scratches reused across runDP calls (the adjustment pass is
+	// serial): the run's AP indices, flat candidate parameters with
+	// per-stage offsets, flat cost/backpointer/choice tables, the touched
+	// edge-node set, and the per-edge refresh buffers.
+	dpRun     []int
+	dpCandOff []int32
+	dpCandT   []float64
+	dpCost    []float64
+	dpBack    []int32
+	dpChoice  []int32
+	dpTouched []rgraph.NodeID
+	factorBuf []float64
+	sepBuf    []float64
+}
+
+// growSlice returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 type apKey struct {

@@ -3,7 +3,6 @@ package detail
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"rdlroute/internal/geom"
 	"rdlroute/internal/global"
@@ -148,11 +147,11 @@ func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options)
 	}
 
 	fit := obs.StartSpan(d.rec, "detail.fit")
+	d.buildTileJobs()
 	scale := 1.0
-	var hops map[hopKey]geom.Polyline
 	var failures []*tilePassage
 	for attempt := 0; ; attempt++ {
-		hops, failures = d.routeTiles(ctx, scale)
+		failures = d.routeTiles(ctx, scale)
 		if len(failures) == 0 || attempt >= d.Opt.Retries || obs.Stopped(ctx) {
 			break
 		}
@@ -180,12 +179,15 @@ func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options)
 	for lo := 0; lo < len(d.Chains); lo += assembleChunk {
 		lo, hi := lo, minInt(lo+assembleChunk, len(d.Chains))
 		units = append(units, func() error {
+			// One stitch buffer per chunk: assemble reuses it across the
+			// chunk's nets and copies only the final simplified geometry out.
+			var cur geom.Polyline
 			for net := lo; net < hi; net++ {
 				ch := d.Chains[net]
 				if ch == nil {
 					continue
 				}
-				route, err := d.assemble(net, ch, hops)
+				route, err := d.assemble(net, ch, &cur)
 				if err != nil {
 					return err
 				}
@@ -216,22 +218,28 @@ func Run(ctx context.Context, r *global.Router, res *global.Result, opt Options)
 	return out, nil
 }
 
-// assemble stitches a net's per-hop polylines into per-layer segments.
-func (d *Detailer) assemble(net int, ch *Chain, hops map[hopKey]geom.Polyline) (*Route, error) {
+// assemble stitches a net's per-hop polylines into per-layer segments. The
+// scratch polyline carries the growing single-layer stitch between flushes
+// and is reused across the caller's nets; only the final simplified
+// geometry of each segment is copied into the route.
+func (d *Detailer) assemble(net int, ch *Chain, scratch *geom.Polyline) (*Route, error) {
 	route := &Route{Net: net}
 	guide := d.guideOf(net)
-	cur := geom.Polyline{}
+	cur := (*scratch)[:0]
 	curLayer := ch.Elems[0].Layer
-	flush := func() {
+	flush := func(cur geom.Polyline) geom.Polyline {
 		if len(cur) >= 2 {
-			route.Segs = append(route.Segs, RouteSeg{Layer: curLayer, Pl: cur.Simplify()})
+			cur = cur.SimplifyInPlace()
+			seg := make(geom.Polyline, len(cur))
+			copy(seg, cur)
+			route.Segs = append(route.Segs, RouteSeg{Layer: curLayer, Pl: seg})
 		}
-		cur = geom.Polyline{}
+		return cur[:0]
 	}
 	for i := 0; i+1 < len(ch.Elems); i++ {
 		link := d.G.Link(guide.Links[i])
 		if link.Kind == rgraph.CrossVia {
-			flush()
+			cur = flush(cur)
 			pos := d.ElemPos(ch.Elems[i])
 			// The via layer index is the smaller of the two wire layers the
 			// via joins (via layer k connects wire layers k and k+1).
@@ -243,11 +251,20 @@ func (d *Detailer) assemble(net int, ch *Chain, hops map[hopKey]geom.Polyline) (
 			curLayer = ch.Elems[i+1].Layer
 			continue
 		}
-		pl, ok := hops[hopKey{net, i}]
-		if !ok || len(pl) < 2 {
-			// No tile geometry (should not happen); fall back to the
-			// straight hop.
-			pl = geom.Polyline{d.ElemPos(ch.Elems[i]), d.ElemPos(ch.Elems[i+1])}
+		pl := d.hopAt(net, i)
+		if len(pl) < 2 {
+			// No tile geometry (the tile was skipped after cancellation);
+			// fall back to the straight hop.
+			p0, p1 := d.ElemPos(ch.Elems[i]), d.ElemPos(ch.Elems[i+1])
+			if len(cur) == 0 {
+				cur = append(cur, p0, p1)
+				continue
+			}
+			if !cur[len(cur)-1].ApproxEq(p0) {
+				return nil, fmt.Errorf("detail: net %d hop %d discontinuous", net, i)
+			}
+			cur = append(cur, p1)
+			continue
 		}
 		if len(cur) == 0 {
 			cur = append(cur, pl...)
@@ -258,7 +275,8 @@ func (d *Detailer) assemble(net int, ch *Chain, hops map[hopKey]geom.Polyline) (
 			cur = append(cur, pl[1:]...)
 		}
 	}
-	flush()
+	cur = flush(cur)
+	*scratch = cur
 	if len(route.Segs) == 0 {
 		return nil, fmt.Errorf("detail: net %d produced no geometry", net)
 	}
@@ -279,7 +297,13 @@ func SegmentsOnLayer(routes []*Route, layer int) []RouteOnLayer {
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Net < out[j].Net })
+	// Stable insertion sort; routes arrive in net order already, so this is
+	// one linear verification pass with no reflect-swapper allocation.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Net < out[j-1].Net; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 

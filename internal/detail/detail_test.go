@@ -188,7 +188,7 @@ func TestPolishPolyline(t *testing.T) {
 	rules := design.DefaultRules()
 	// A spike: path doubles back at (10, 0).
 	spike := geom.Polyline{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 0.1), geom.Pt(5, 10)}
-	out := polishPolyline(spike, rules, nil)
+	out := polishPolyline(spike, rules, nil, 0, 0)
 	if out.MaxTurnAngle() > spikeTurn {
 		t.Errorf("spike survived: %v", out)
 	}
@@ -197,13 +197,13 @@ func TestPolishPolyline(t *testing.T) {
 	}
 	// Turn pair closer than w_x.
 	jog := geom.Polyline{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(11, 1), geom.Pt(20, 2)}
-	out = polishPolyline(jog, rules, nil)
+	out = polishPolyline(jog, rules, nil, 0, 0)
 	if d := out.MinTurnSpacing(); d < rules.MinTurnDist && !math.IsInf(d, 1) {
 		t.Errorf("turn spacing still %v", d)
 	}
 	// A clean straight polyline is untouched.
 	straight := geom.Polyline{geom.Pt(0, 0), geom.Pt(100, 0)}
-	out = polishPolyline(straight, rules, nil)
+	out = polishPolyline(straight, rules, nil, 0, 0)
 	if len(out) != 2 {
 		t.Errorf("straight line modified: %v", out)
 	}

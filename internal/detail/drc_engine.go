@@ -14,6 +14,17 @@ import (
 // them on a worker pool. Unit boundaries are fixed (independent of the
 // worker count) and the merged findings are canonically sorted, so any pool
 // size produces byte-identical output.
+//
+// The spatial index is a flat CSR-bucketed grid, not a hash map: cells are
+// dense array slots indexed by (x + y*nx) over the layer's bounding box,
+// bucket membership lives in one items array addressed by a starts/offsets
+// array, and the per-source-segment "pair already examined" set is a
+// generation-stamped array instead of a per-unit map. Cell coordinates are
+// computed once per endpoint (integer math from there on), so the double
+// [2]int hashing of the former map grid — once per lookup, once per insert
+// — is gone entirely; see doc/PERFORMANCE.md for the measured effect.
+// Workers own their scratches (pool.RunWith hands every unit its worker
+// slot), which persist across all units of a run.
 
 const (
 	// drcSpacingChunk is the number of source segments per spacing unit.
@@ -33,6 +44,74 @@ type drcSeg struct {
 	seg geom.Segment
 }
 
+// drcScratch is one worker's reusable state: the generation-stamped
+// pair-dedup array for spacing scans and the bucket-counting buffer for
+// grid builds. A scratch belongs to exactly one worker slot and persists
+// across every unit that worker executes within a run, so warm units do
+// not grow the heap.
+type drcScratch struct {
+	// stamp[id] == gen marks segment id as already examined against the
+	// current source segment. Clearing is O(1): bump gen.
+	stamp []uint32
+	gen   uint32
+	// counts is the CSR bucket-size buffer for grid builds.
+	counts []int32
+}
+
+// begin starts a new dedup generation sized for n segments.
+//
+//rdl:noalloc
+func (s *drcScratch) begin(n int) {
+	if cap(s.stamp) < n {
+		//rdl:allow noalloc stamp array growth is setup cost: it happens at most once per layer size increase, never in warm units
+		s.stamp = make([]uint32, n)
+	}
+	s.stamp = s.stamp[:n]
+	s.gen++
+	if s.gen == 0 { // uint32 wrap: stale stamps could alias, zero-fill once
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// flatGrid is the dense spatial hash of one layer: cell (x, y) with
+// 0 ≤ x < nx, 0 ≤ y < ny holds the segment indices
+// items[starts[y*nx+x]:starts[y*nx+x+1]]. Cells outside the bounding box
+// hold nothing by construction, so queries skip them instead of looking
+// them up.
+type flatGrid struct {
+	minX, minY float64
+	inv        float64 // 1 / cell edge length
+	nx, ny     int
+	starts     []int32
+	items      []int32
+}
+
+// cellOf returns p's cell coordinates, computed once per endpoint. The
+// clamp guards the top-edge float boundary (a point exactly on the
+// bounding-box maximum).
+//
+//rdl:noalloc
+func (g *flatGrid) cellOf(p geom.Point) (int, int) {
+	cx := int((p.X - g.minX) * g.inv)
+	cy := int((p.Y - g.minY) * g.inv)
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cx, cy
+}
+
 // drcLayer is the prepared per-layer state the spacing and wire-rule units
 // read concurrently (read-only after the build phase).
 type drcLayer struct {
@@ -40,12 +119,7 @@ type drcLayer struct {
 	cell  float64
 	segs  []drcSeg
 	lines []RouteOnLayer
-	// grid buckets indices into segs by cell.
-	grid map[[2]int][]int
-}
-
-func (l *drcLayer) key(p geom.Point) [2]int {
-	return [2]int{int(math.Floor(p.X / l.cell)), int(math.Floor(p.Y / l.cell))}
+	grid  flatGrid
 }
 
 // buildLayer collects the layer's segments, sizes the spatial hash, and
@@ -59,7 +133,8 @@ func (l *drcLayer) key(p geom.Point) [2]int {
 // (per-net width) nets; deriving the cell from clearFn over the
 // participating nets closes it.
 func buildLayer(routes []*Route, layer int, rules design.Rules,
-	sameNet func(a, b int) bool, clearFn func(a, b int) float64) *drcLayer {
+	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
+	scr *drcScratch) *drcLayer {
 	l := &drcLayer{layer: layer, lines: SegmentsOnLayer(routes, layer)}
 
 	// Distinct nets on the layer, in ascending order (lines are net-sorted).
@@ -86,21 +161,110 @@ func buildLayer(routes []*Route, layer int, rules design.Rules,
 	l.cell = math.Max(math.Max(maxClear, rules.Pitch()*8), 50)
 
 	for _, rl := range l.lines {
-		for _, s := range rl.Pl.Segments() {
-			l.segs = append(l.segs, drcSeg{net: rl.Net, id: len(l.segs), seg: s})
+		pl := rl.Pl
+		for i := 1; i < len(pl); i++ {
+			l.segs = append(l.segs, drcSeg{net: rl.Net, id: len(l.segs), seg: geom.Seg(pl[i-1], pl[i])})
 		}
 	}
-	l.grid = make(map[[2]int][]int)
-	for i, e := range l.segs {
-		k0 := l.key(e.seg.A)
-		k1 := l.key(e.seg.B)
-		for x := minInt(k0[0], k1[0]); x <= maxInt(k0[0], k1[0]); x++ {
-			for y := minInt(k0[1], k1[1]); y <= maxInt(k0[1], k1[1]); y++ {
-				l.grid[[2]int{x, y}] = append(l.grid[[2]int{x, y}], i)
+	l.buildGrid(scr)
+	return l
+}
+
+// buildGrid fills the layer's flat CSR grid in two counting passes over the
+// segments, reusing the worker scratch's counts buffer.
+func (l *drcLayer) buildGrid(scr *drcScratch) {
+	segs := l.segs
+	l.grid.fill(len(segs), func(i int) geom.Segment { return segs[i].seg }, l.cell, scr)
+}
+
+// fill (re)builds the grid over n segments in two counting passes, reusing
+// the grid's starts/items backing arrays and the scratch's counts buffer,
+// so warm refills over same-or-smaller geometry do not allocate. Bucket
+// contents come out in ascending segment-index order (the order the former
+// map grid's appends produced). A segment is indexed into the full cell
+// rectangle spanned by its endpoints, a superset of the cells it passes
+// through, so a ±1-cell query walk around any point of it is exhaustive for
+// distances up to one cell edge.
+func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *drcScratch) {
+	if n == 0 {
+		g.nx, g.ny = 0, 0
+		g.starts, g.items = g.starts[:0], g.items[:0]
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		s := segAt(i)
+		minX = math.Min(minX, math.Min(s.A.X, s.B.X))
+		minY = math.Min(minY, math.Min(s.A.Y, s.B.Y))
+		maxX = math.Max(maxX, math.Max(s.A.X, s.B.X))
+		maxY = math.Max(maxY, math.Max(s.A.Y, s.B.Y))
+	}
+	g.minX, g.minY = minX, minY
+	g.inv = 1 / cell
+	g.nx = int((maxX-minX)*g.inv) + 1
+	g.ny = int((maxY-minY)*g.inv) + 1
+	ncells := g.nx * g.ny
+
+	counts := scr.counts
+	if cap(counts) < ncells {
+		counts = make([]int32, ncells)
+	}
+	counts = counts[:ncells]
+	for i := range counts {
+		counts[i] = 0
+	}
+	scr.counts = counts
+
+	// Pass 1: bucket sizes.
+	total := 0
+	for i := 0; i < n; i++ {
+		s := segAt(i)
+		x0, y0 := g.cellOf(s.A)
+		x1, y1 := g.cellOf(s.B)
+		for x := minInt(x0, x1); x <= maxInt(x0, x1); x++ {
+			for y := minInt(y0, y1); y <= maxInt(y0, y1); y++ {
+				counts[y*g.nx+x]++
+				total++
 			}
 		}
 	}
-	return l
+	// Prefix-sum into starts; cursor reuses counts.
+	g.starts = growSlice(g.starts, ncells+1)
+	run := int32(0)
+	for c := 0; c < ncells; c++ {
+		g.starts[c] = run
+		run += counts[c]
+		counts[c] = g.starts[c] // cursor for pass 2
+	}
+	g.starts[ncells] = run
+
+	// Pass 2: fill in ascending segment-index order.
+	g.items = growSlice(g.items, total)
+	for i := 0; i < n; i++ {
+		s := segAt(i)
+		x0, y0 := g.cellOf(s.A)
+		x1, y1 := g.cellOf(s.B)
+		for x := minInt(x0, x1); x <= maxInt(x0, x1); x++ {
+			for y := minInt(y0, y1); y <= maxInt(y0, y1); y++ {
+				c := y*g.nx + x
+				g.items[counts[c]] = int32(i)
+				counts[c]++
+			}
+		}
+	}
+}
+
+// fillNetSegs and fillNetVias are the fill adapters for the polisher's and
+// reassigner's per-layer views (vias index as degenerate segments). Kept as
+// named methods so the //rdl:noalloc refresh paths that rebuild the grids
+// contain no closure literals.
+func (g *flatGrid) fillNetSegs(segs []netSeg, cell float64, scr *drcScratch) {
+	g.fill(len(segs), func(i int) geom.Segment { return segs[i].seg }, cell, scr)
+}
+
+func (g *flatGrid) fillNetVias(vias []netVia, cell float64, scr *drcScratch) {
+	g.fill(len(vias), func(i int) geom.Segment { return geom.Seg(vias[i].pos, vias[i].pos) }, cell, scr)
 }
 
 // spacingUnit checks the source segments segs[lo:hi] against the grid.
@@ -108,32 +272,46 @@ func buildLayer(routes []*Route, layer int, rules design.Rules,
 // are deduplicated by segment-pair identity (both segments may span several
 // cells and meet in more than one, and two distinct pairs can share a
 // witness point — the identity, not the float witness, is what makes a
-// finding unique).
+// finding unique). The scratch's stamp array replaces the former per-unit
+// seen map: one generation per source segment marks every partner already
+// examined, which also skips the duplicate distance computations the map
+// version still paid for non-violating pairs.
+//
+//rdl:noalloc
 func (l *drcLayer) spacingUnit(lo, hi int,
-	sameNet func(a, b int) bool, clearFn func(a, b int) float64) []Violation {
+	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
+	scr *drcScratch) []Violation {
 	const eps = 1e-6
 	var out []Violation
-	seen := make(map[[2]int]bool)
+	g := &l.grid
 	for si := lo; si < hi; si++ {
-		s := l.segs[si]
-		k0 := l.key(s.seg.A)
-		k1 := l.key(s.seg.B)
-		for x := minInt(k0[0], k1[0]) - 1; x <= maxInt(k0[0], k1[0])+1; x++ {
-			for y := minInt(k0[1], k1[1]) - 1; y <= maxInt(k0[1], k1[1])+1; y++ {
-				for _, ei := range l.grid[[2]int{x, y}] {
-					e := l.segs[ei]
+		s := &l.segs[si]
+		scr.begin(len(l.segs))
+		x0, y0 := g.cellOf(s.seg.A)
+		x1, y1 := g.cellOf(s.seg.B)
+		for x := minInt(x0, x1) - 1; x <= maxInt(x0, x1)+1; x++ {
+			if x < 0 || x >= g.nx {
+				continue // outside the bounding box: nothing bucketed there
+			}
+			for y := minInt(y0, y1) - 1; y <= maxInt(y0, y1)+1; y++ {
+				if y < 0 || y >= g.ny {
+					continue
+				}
+				c := y*g.nx + x
+				for _, ei := range g.items[g.starts[c]:g.starts[c+1]] {
+					e := &l.segs[ei]
 					if e.net <= s.net || sameNet(e.net, s.net) {
 						continue
 					}
-					if seen[[2]int{s.id, e.id}] {
+					if scr.stamp[e.id] == scr.gen {
 						continue
 					}
+					scr.stamp[e.id] = scr.gen
 					limit := clearFn(s.net, e.net)
 					dist, pa, _ := s.seg.DistToSegment(e.seg)
 					if dist >= limit-eps {
 						continue
 					}
-					seen[[2]int{s.id, e.id}] = true
 					out = append(out, Violation{
 						Kind: SpacingViolation, Layer: l.layer,
 						NetA: s.net, NetB: e.net, Where: pa,
@@ -183,7 +361,9 @@ func obstacleUnit(routes []*Route, lo, hi int, d *design.Design) []Violation {
 			continue
 		}
 		for _, seg := range rt.Segs {
-			for _, s := range seg.Pl.Segments() {
+			pl := seg.Pl
+			for i := 1; i < len(pl); i++ {
+				s := geom.Seg(pl[i-1], pl[i])
 				if d.SegmentBlocked(s, seg.Layer, 0) {
 					out = append(out, Violation{
 						Kind: ObstacleViolation, Layer: seg.Layer,
@@ -192,16 +372,6 @@ func obstacleUnit(routes []*Route, lo, hi int, d *design.Design) []Violation {
 				}
 			}
 		}
-	}
-	return out
-}
-
-// runUnits executes the units on a pool of the given size and concatenates
-// their outputs in unit order.
-func runUnits(units []func() []Violation, workers int) []Violation {
-	var out []Violation
-	for _, r := range pool.Run(units, workers) {
-		out = append(out, r...)
 	}
 	return out
 }
@@ -239,36 +409,43 @@ func checkDRC(routes []*Route, rules design.Rules, layers int,
 	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
 	d *design.Design, workers int, rec obs.Recorder) []Violation {
 	rec = obs.Or(rec)
+	if workers < 1 {
+		workers = 1
+	}
+	// One scratch per worker slot, shared by the build and scan phases: the
+	// stamp and counts buffers reach steady-state size after the first few
+	// units and every later unit runs allocation-free against them.
+	scratches := make([]drcScratch, workers)
 
 	// Phase 1: per-layer grids, built concurrently across layers.
 	span := obs.StartSpan(rec, "drc.grid")
 	prepped := make([]*drcLayer, layers)
-	prepUnits := make([]func() []Violation, layers)
+	prepUnits := make([]func(w int) []Violation, layers)
 	for layer := 0; layer < layers; layer++ {
 		layer := layer
-		prepUnits[layer] = func() []Violation {
-			prepped[layer] = buildLayer(routes, layer, rules, sameNet, clearFn)
+		prepUnits[layer] = func(w int) []Violation {
+			prepped[layer] = buildLayer(routes, layer, rules, sameNet, clearFn, &scratches[w])
 			return nil
 		}
 	}
-	runUnits(prepUnits, workers)
+	pool.RunWith(prepUnits, workers)
 	span.End()
 
 	// Phase 2: spacing stripes, wire rules, and keep-outs, in a fixed unit
 	// order so the concatenation is deterministic.
 	span = obs.StartSpan(rec, "drc.scan")
-	var units []func() []Violation
+	var units []func(w int) []Violation
 	for _, l := range prepped {
 		l := l
 		for lo := 0; lo < len(l.segs); lo += drcSpacingChunk {
 			lo, hi := lo, minInt(lo+drcSpacingChunk, len(l.segs))
-			units = append(units, func() []Violation {
-				return l.spacingUnit(lo, hi, sameNet, clearFn)
+			units = append(units, func(w int) []Violation {
+				return l.spacingUnit(lo, hi, sameNet, clearFn, &scratches[w])
 			})
 		}
 		for lo := 0; lo < len(l.lines); lo += drcLineChunk {
 			lo, hi := lo, minInt(lo+drcLineChunk, len(l.lines))
-			units = append(units, func() []Violation {
+			units = append(units, func(w int) []Violation {
 				return l.wireRuleUnit(lo, hi, rules)
 			})
 		}
@@ -276,12 +453,15 @@ func checkDRC(routes []*Route, rules design.Rules, layers int,
 	if d != nil && len(d.Obstacles) > 0 {
 		for lo := 0; lo < len(routes); lo += drcLineChunk {
 			lo, hi := lo, minInt(lo+drcLineChunk, len(routes))
-			units = append(units, func() []Violation {
+			units = append(units, func(w int) []Violation {
 				return obstacleUnit(routes, lo, hi, d)
 			})
 		}
 	}
-	out := runUnits(units, workers)
+	var out []Violation
+	for _, r := range pool.RunWith(units, workers) {
+		out = append(out, r...)
+	}
 	span.End()
 
 	sortViolations(out)
@@ -298,6 +478,13 @@ func checkDRC(routes []*Route, rules design.Rules, layers int,
 				rec.Count("drc.violations."+ViolationKind(k).String(), n)
 			}
 		}
+		var cells, segs int64
+		for _, l := range prepped {
+			cells += int64(l.grid.nx * l.grid.ny)
+			segs += int64(len(l.segs))
+		}
+		rec.Count("drc.grid.cells", cells)
+		rec.Count("drc.grid.segments", segs)
 	}
 	return out
 }

@@ -34,23 +34,6 @@ var routedCase = func() func(tb testing.TB, name string) (*design.Design, []*Rou
 	}
 }()
 
-// regrid rebuilds a layer's spatial hash at an arbitrary cell size, so a
-// test can reproduce the pre-fix pitch-derived sizing.
-func regrid(l *drcLayer, cell float64) *drcLayer {
-	n := &drcLayer{layer: l.layer, cell: cell, segs: l.segs, lines: l.lines}
-	n.grid = make(map[[2]int][]int)
-	for i, e := range n.segs {
-		k0 := n.key(e.seg.A)
-		k1 := n.key(e.seg.B)
-		for x := minInt(k0[0], k1[0]); x <= maxInt(k0[0], k1[0]); x++ {
-			for y := minInt(k0[1], k1[1]); y <= maxInt(k0[1], k1[1]); y++ {
-				n.grid[[2]int{x, y}] = append(n.grid[[2]int{x, y}], i)
-			}
-		}
-	}
-	return n
-}
-
 // TestDRCWideClearanceRegression pins the spatial-hash soundness fix: the
 // cell must be sized from the largest pairwise clearance, not the pitch.
 // Net 0 is a 220 µm power rail, so its clearance against a default-width
@@ -83,14 +66,14 @@ func TestDRCWideClearanceRegression(t *testing.T) {
 	}
 
 	// The engine's cell honours the correctness bound.
-	l := buildLayer(routes, 0, d.Rules, d.SameGroup, d.Clearance)
+	l := buildLayer(routes, 0, d.Rules, d.SameGroup, d.Clearance, &drcScratch{})
 	if l.cell < limit {
 		t.Errorf("cell %v below the max pairwise clearance %v", l.cell, limit)
 	}
 
 	// Demonstrate the pre-fix hole: the same scan over a grid with the old
 	// pitch-derived cell misses the violation entirely.
-	old := regrid(l, math.Max(8*d.Rules.Pitch(), 50))
+	old := newMapGridLayer(l, math.Max(8*d.Rules.Pitch(), 50))
 	if got := old.spacingUnit(0, len(old.segs), d.SameGroup, d.Clearance); len(got) != 0 {
 		t.Logf("old sizing unexpectedly found %v (geometry no longer demonstrates the hole)", got)
 	} else {

@@ -34,37 +34,59 @@ type ReassignStats struct {
 }
 
 // reassigner tracks the evolving per-layer geometry of all routes so each
-// candidate fold is validated against current wires and vias.
+// candidate fold is validated against current wires and vias. The views are
+// dense slices indexed by wire layer, each doubled by a flat spatial hash
+// (the DRC engine's flatGrid layout) so moveOK walks only the candidates
+// near the moved geometry; mergeBuf is the scratch the candidate fold
+// geometry is built in (copied out only on an accepted fold).
 type reassigner struct {
 	d     *design.Design
 	rules design.Rules
 	// layerSegs[layer] holds the current segments of every net.
-	layerSegs map[int][]netSeg
+	layerSegs [][]netSeg
 	// layerVias[layer] holds the vias currently touching each wire layer.
-	layerVias map[int][]netVia
+	layerVias [][]netVia
+	// segGrids/viaGrids bucket the views per layer; cell bounds every
+	// queried limit (indexCell) so the ±1-cell walk is exhaustive.
+	segGrids []flatGrid
+	viaGrids []flatGrid
+	cell     float64
+	scr      drcScratch
+
+	mergeBuf geom.Polyline
 }
 
 func newReassigner(routes []*Route, d *design.Design) *reassigner {
 	r := &reassigner{
 		d: d, rules: d.Rules,
-		layerSegs: make(map[int][]netSeg),
-		layerVias: make(map[int][]netVia),
+		layerSegs: make([][]netSeg, d.WireLayers),
+		layerVias: make([][]netVia, d.WireLayers),
+		segGrids:  make([]flatGrid, d.WireLayers),
+		viaGrids:  make([]flatGrid, d.WireLayers),
+		cell:      indexCell(d),
 	}
 	for _, rt := range routes {
 		if rt == nil {
 			continue
 		}
 		for _, s := range rt.Segs {
-			for _, sg := range s.Pl.Segments() {
-				r.layerSegs[s.Layer] = append(r.layerSegs[s.Layer], netSeg{rt.Net, sg})
+			pl := s.Pl
+			for i := 1; i < len(pl); i++ {
+				r.layerSegs[s.Layer] = append(r.layerSegs[s.Layer], netSeg{rt.Net, geom.Seg(pl[i-1], pl[i])})
 			}
 		}
+	}
+	for l := 0; l < d.WireLayers; l++ {
+		r.segGrids[l].fillNetSegs(r.layerSegs[l], r.cell, &r.scr)
 	}
 	r.refreshVias(routes)
 	return r
 }
 
-// refreshSegs rebuilds the stored segments of one layer.
+// refreshSegs rebuilds the stored segments of one layer and the layer's
+// spatial index over them.
+//
+//rdl:noalloc
 func (r *reassigner) refreshSegs(routes []*Route, layer int) {
 	segs := r.layerSegs[layer][:0]
 	for _, rt := range routes {
@@ -75,16 +97,21 @@ func (r *reassigner) refreshSegs(routes []*Route, layer int) {
 			if s.Layer != layer {
 				continue
 			}
-			for _, sg := range s.Pl.Segments() {
-				segs = append(segs, netSeg{rt.Net, sg})
+			pl := s.Pl
+			for i := 1; i < len(pl); i++ {
+				segs = append(segs, netSeg{rt.Net, geom.Seg(pl[i-1], pl[i])})
 			}
 		}
 	}
 	r.layerSegs[layer] = segs
+	r.segGrids[layer].fillNetSegs(segs, r.cell, &r.scr)
 }
 
-// refreshVias rebuilds the via view of every layer (vias are deleted by
-// accepted folds, so unlike the polisher's the view is not fixed).
+// refreshVias rebuilds the via view — and via index — of every layer (vias
+// are deleted by accepted folds, so unlike the polisher's the view is not
+// fixed).
+//
+//rdl:noalloc
 func (r *reassigner) refreshVias(routes []*Route) {
 	for l := range r.layerVias {
 		r.layerVias[l] = r.layerVias[l][:0]
@@ -99,6 +126,9 @@ func (r *reassigner) refreshVias(routes []*Route) {
 			r.layerVias[v.Layer+1] = append(r.layerVias[v.Layer+1], netVia{rt.Net, v.Pos})
 		}
 	}
+	for l := range r.layerVias {
+		r.viaGrids[l].fillNetVias(r.layerVias[l], r.cell, &r.scr)
+	}
 }
 
 // moveOK reports whether a polyline may be placed on a layer: inside every
@@ -106,28 +136,80 @@ func (r *reassigner) refreshVias(routes []*Route) {
 // clearance, and clear of every other net's vias by the via-wire limit.
 // Unlike the polisher's chord check the geometry is new on this layer, so
 // the full strict clearance applies with no pre-existing-shortfall
-// allowance.
+// allowance. Candidates come from the layer's spatial indexes: anything
+// beyond one cell of a moved segment is beyond every queryable limit, so
+// the grid walk examines a superset of the candidates that can return
+// false and the verdict matches the full scan byte for byte.
+//
+//rdl:noalloc
 func (r *reassigner) moveOK(pl geom.Polyline, layer, net int) bool {
 	const eps = 1e-9
 	viaLimit := r.rules.ViaWidth/2 + r.rules.MinSpacing + r.d.WidthOf(net)/2
-	for _, sg := range pl.Segments() {
+	segs := r.layerSegs[layer]
+	vias := r.layerVias[layer]
+	g := &r.segGrids[layer]
+	vg := &r.viaGrids[layer]
+	for i := 1; i < len(pl); i++ {
+		sg := geom.Seg(pl[i-1], pl[i])
 		if r.d.SegmentBlocked(sg, layer, 0) {
 			return false
 		}
-		for _, ns := range r.layerSegs[layer] {
-			if r.d.SameGroup(ns.net, net) {
-				continue
-			}
-			if dd, _, _ := sg.DistToSegment(ns.seg); dd < r.d.Clearance(net, ns.net)-eps {
-				return false
+		if len(g.items) > 0 {
+			r.scr.begin(len(segs))
+			x0, y0 := g.cellOf(sg.A)
+			x1, y1 := g.cellOf(sg.B)
+			for x := minInt(x0, x1) - 1; x <= maxInt(x0, x1)+1; x++ {
+				if x < 0 || x >= g.nx {
+					continue
+				}
+				for y := minInt(y0, y1) - 1; y <= maxInt(y0, y1)+1; y++ {
+					if y < 0 || y >= g.ny {
+						continue
+					}
+					c := y*g.nx + x
+					for _, si := range g.items[g.starts[c]:g.starts[c+1]] {
+						if r.scr.stamp[si] == r.scr.gen {
+							continue
+						}
+						r.scr.stamp[si] = r.scr.gen
+						ns := &segs[si]
+						if r.d.SameGroup(ns.net, net) {
+							continue
+						}
+						if dd, _, _ := sg.DistToSegment(ns.seg); dd < r.d.Clearance(net, ns.net)-eps {
+							return false
+						}
+					}
+				}
 			}
 		}
-		for _, nv := range r.layerVias[layer] {
-			if r.d.SameGroup(nv.net, net) {
-				continue
-			}
-			if sg.DistToPoint(nv.pos) < viaLimit-eps {
-				return false
+		if len(vg.items) > 0 {
+			r.scr.begin(len(vias))
+			x0, y0 := vg.cellOf(sg.A)
+			x1, y1 := vg.cellOf(sg.B)
+			for x := minInt(x0, x1) - 1; x <= maxInt(x0, x1)+1; x++ {
+				if x < 0 || x >= vg.nx {
+					continue
+				}
+				for y := minInt(y0, y1) - 1; y <= maxInt(y0, y1)+1; y++ {
+					if y < 0 || y >= vg.ny {
+						continue
+					}
+					c := y*vg.nx + x
+					for _, vi := range vg.items[vg.starts[c]:vg.starts[c+1]] {
+						if r.scr.stamp[vi] == r.scr.gen {
+							continue
+						}
+						r.scr.stamp[vi] = r.scr.gen
+						nv := &vias[vi]
+						if r.d.SameGroup(nv.net, net) {
+							continue
+						}
+						if sg.DistToPoint(nv.pos) < viaLimit-eps {
+							return false
+						}
+					}
+				}
 			}
 		}
 	}
@@ -138,6 +220,8 @@ func (r *reassigner) moveOK(pl geom.Polyline, layer, net int) bool {
 // would raise for a polyline (mirroring drcLayer.wireRuleUnit). Folds must
 // not increase the count: the junction vertices they interiorize may carry
 // turns the per-segment checks never saw.
+//
+//rdl:noalloc
 func wireRuleCount(pl geom.Polyline, rules design.Rules) int {
 	const eps = 1e-6
 	n := 0
@@ -154,14 +238,18 @@ func wireRuleCount(pl geom.Polyline, rules design.Rules) int {
 	return n
 }
 
-// mergePolylines concatenates the three segment polylines of a fold,
-// dropping the duplicated junction points.
-func mergePolylines(a, b, c geom.Polyline) geom.Polyline {
-	merged := make(geom.Polyline, 0, len(a)+len(b)+len(c))
-	merged = append(merged, a...)
-	merged = append(merged, b[1:]...)
-	merged = append(merged, c[1:]...)
-	return merged.Simplify()
+// mergeInto concatenates the three segment polylines of a fold into the
+// scratch buffer, dropping the duplicated junction points. The returned
+// polyline aliases the scratch and is only valid until the next call.
+//
+//rdl:noalloc
+func (r *reassigner) mergeInto(a, b, c geom.Polyline) geom.Polyline {
+	m := r.mergeBuf[:0]
+	m = append(m, a...)
+	m = append(m, b[1:]...)
+	m = append(m, c[1:]...)
+	r.mergeBuf = m
+	return m.SimplifyInPlace()
 }
 
 // foldOne attempts the first acceptable fold of a route and reports whether
@@ -180,7 +268,7 @@ func (r *reassigner) foldOne(routes []*Route, rt *Route) bool {
 		if !r.moveOK(rt.Segs[i].Pl, l, rt.Net) {
 			continue
 		}
-		merged := mergePolylines(rt.Segs[i-1].Pl, rt.Segs[i].Pl, rt.Segs[i+1].Pl)
+		merged := r.mergeInto(rt.Segs[i-1].Pl, rt.Segs[i].Pl, rt.Segs[i+1].Pl)
 		if len(merged) < 2 {
 			continue
 		}
@@ -190,8 +278,11 @@ func (r *reassigner) foldOne(routes []*Route, rt *Route) bool {
 		if wireRuleCount(merged, r.rules) > before {
 			continue
 		}
+		// Accepted: copy the merged geometry out of the scratch.
+		out := make(geom.Polyline, len(merged))
+		copy(out, merged)
 		oldLayer := rt.Segs[i].Layer
-		rt.Segs[i-1] = RouteSeg{Layer: l, Pl: merged}
+		rt.Segs[i-1] = RouteSeg{Layer: l, Pl: out}
 		rt.Segs = append(rt.Segs[:i], rt.Segs[i+2:]...)
 		// Vias[i-1] and Vias[i] joined the folded segment to its
 		// neighbours; both disappear with it.

@@ -23,14 +23,48 @@ import (
 const spikeTurn = 91 * math.Pi / 180
 
 // polisher validates vertex removals against the evolving geometry of all
-// routes and the design's keep-out regions.
+// routes and the design's keep-out regions. The per-layer views are dense
+// slices indexed by wire layer, and the polyline/blocked buffers are
+// scratches reused across every polished segment of a run. Each view is
+// doubled by a flat spatial hash (the DRC engine's flatGrid layout), so a
+// chord check walks only the candidates near the chord instead of every
+// segment and via on the layer.
 type polisher struct {
 	d     *design.Design
 	rules design.Rules
 	// layerSegs[layer] holds the current segments of every net.
-	layerSegs map[int][]netSeg
+	layerSegs [][]netSeg
 	// layerVias[layer] holds the vias touching each wire layer (fixed).
-	layerVias map[int][]netVia
+	layerVias [][]netVia
+	// segGrids[layer] buckets layerSegs[layer]; viaGrids[layer] buckets
+	// layerVias[layer]. cell bounds every queried limit (pairwise wire
+	// clearance, via-wire limit) so the ±1-cell walk is exhaustive; scr
+	// carries the stamp dedup and the grid builds' counts buffer.
+	segGrids []flatGrid
+	viaGrids []flatGrid
+	cell     float64
+	scr      drcScratch
+
+	plBuf      geom.Polyline
+	blockedBuf []geom.Point
+}
+
+// indexCell returns the cell size of the polish/reassign spatial indexes.
+// Correctness bound: at least every pairwise wire clearance and every
+// via-wire limit that can be queried against the grids, so a candidate
+// outside the ±1-cell walk is provably beyond its limit (the DRC grid's
+// argument). The 8×pitch and 50 µm floors keep sparse layers from
+// fragmenting into many empty cells.
+func indexCell(d *design.Design) float64 {
+	maxW := d.Rules.WireWidth
+	for i := range d.Nets {
+		if w := d.WidthOf(i); w > maxW {
+			maxW = w
+		}
+	}
+	wire := maxW + d.Rules.MinSpacing                       // ≥ Clearance(a, b) for all pairs
+	via := d.Rules.ViaWidth/2 + d.Rules.MinSpacing + maxW/2 // ≥ every via-wire limit
+	return math.Max(math.Max(wire, via), math.Max(8*d.Rules.Pitch(), 50))
 }
 
 type netSeg struct {
@@ -46,16 +80,39 @@ type netVia struct {
 func newPolisher(routes []*Route, d *design.Design) *polisher {
 	p := &polisher{
 		d: d, rules: d.Rules,
-		layerSegs: make(map[int][]netSeg),
-		layerVias: make(map[int][]netVia),
+		layerSegs: make([][]netSeg, d.WireLayers),
+		layerVias: make([][]netVia, d.WireLayers),
+	}
+	// Counting pass so the per-layer views are built with exactly one
+	// allocation each.
+	segN := make([]int, d.WireLayers)
+	viaN := make([]int, d.WireLayers)
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		for _, s := range rt.Segs {
+			if len(s.Pl) > 1 {
+				segN[s.Layer] += len(s.Pl) - 1
+			}
+		}
+		for _, v := range rt.Vias {
+			viaN[v.Layer]++
+			viaN[v.Layer+1]++
+		}
+	}
+	for l := 0; l < d.WireLayers; l++ {
+		p.layerSegs[l] = make([]netSeg, 0, segN[l])
+		p.layerVias[l] = make([]netVia, 0, viaN[l])
 	}
 	for _, rt := range routes {
 		if rt == nil {
 			continue
 		}
 		for _, s := range rt.Segs {
-			for _, sg := range s.Pl.Segments() {
-				p.layerSegs[s.Layer] = append(p.layerSegs[s.Layer], netSeg{rt.Net, sg})
+			pl := s.Pl
+			for i := 1; i < len(pl); i++ {
+				p.layerSegs[s.Layer] = append(p.layerSegs[s.Layer], netSeg{rt.Net, geom.Seg(pl[i-1], pl[i])})
 			}
 		}
 		for _, v := range rt.Vias {
@@ -64,6 +121,13 @@ func newPolisher(routes []*Route, d *design.Design) *polisher {
 			p.layerVias[v.Layer+1] = append(p.layerVias[v.Layer+1], netVia{rt.Net, v.Pos})
 		}
 	}
+	p.cell = indexCell(d)
+	p.segGrids = make([]flatGrid, d.WireLayers)
+	p.viaGrids = make([]flatGrid, d.WireLayers)
+	for l := 0; l < d.WireLayers; l++ {
+		p.segGrids[l].fillNetSegs(p.layerSegs[l], p.cell, &p.scr)
+		p.viaGrids[l].fillNetVias(p.layerVias[l], p.cell, &p.scr)
+	}
 	return p
 }
 
@@ -71,43 +135,101 @@ func newPolisher(routes []*Route, d *design.Design) *polisher {
 // chord keeps clearance to every other net's wires and vias on the layer
 // and stays out of keep-outs. A pre-existing shortfall does not block a
 // removal as long as the chord comes no closer than the original path did.
+//
+// Candidates come from the layer's spatial indexes: a wire or via beyond
+// one cell of the chord is beyond every queryable limit (indexCell bounds
+// them all), so walking the chord's cell rectangle ±1 examines a superset
+// of the candidates that can return false — the verdict is byte-identical
+// to the full scan it replaces.
+//
+//rdl:noalloc
 func (p *polisher) chordOK(chord, orig1, orig2 geom.Segment, layer, net int) bool {
 	if p.d.SegmentBlocked(chord, layer, 0) {
 		return false
 	}
-	for _, ns := range p.layerSegs[layer] {
-		if p.d.SameGroup(ns.net, net) {
-			continue
-		}
-		d, _, _ := chord.DistToSegment(ns.seg)
-		limit := p.d.Clearance(net, ns.net)
-		if d >= limit-1e-9 {
-			continue
-		}
-		d1, _, _ := orig1.DistToSegment(ns.seg)
-		d2, _, _ := orig2.DistToSegment(ns.seg)
-		if d < math.Min(d1, d2)-1e-9 {
-			return false
+	segs := p.layerSegs[layer]
+	g := &p.segGrids[layer]
+	if len(g.items) > 0 {
+		p.scr.begin(len(segs))
+		x0, y0 := g.cellOf(chord.A)
+		x1, y1 := g.cellOf(chord.B)
+		for x := minInt(x0, x1) - 1; x <= maxInt(x0, x1)+1; x++ {
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			for y := minInt(y0, y1) - 1; y <= maxInt(y0, y1)+1; y++ {
+				if y < 0 || y >= g.ny {
+					continue
+				}
+				c := y*g.nx + x
+				for _, si := range g.items[g.starts[c]:g.starts[c+1]] {
+					if p.scr.stamp[si] == p.scr.gen {
+						continue
+					}
+					p.scr.stamp[si] = p.scr.gen
+					ns := &segs[si]
+					if p.d.SameGroup(ns.net, net) {
+						continue
+					}
+					d, _, _ := chord.DistToSegment(ns.seg)
+					limit := p.d.Clearance(net, ns.net)
+					if d >= limit-1e-9 {
+						continue
+					}
+					d1, _, _ := orig1.DistToSegment(ns.seg)
+					d2, _, _ := orig2.DistToSegment(ns.seg)
+					if d < math.Min(d1, d2)-1e-9 {
+						return false
+					}
+				}
+			}
 		}
 	}
-	for _, nv := range p.layerVias[layer] {
-		if p.d.SameGroup(nv.net, net) {
-			continue
-		}
-		limit := p.rules.ViaWidth/2 + p.rules.MinSpacing + p.d.WidthOf(net)/2
-		d := chord.DistToPoint(nv.pos)
-		if d >= limit-1e-9 {
-			continue
-		}
-		orig := math.Min(orig1.DistToPoint(nv.pos), orig2.DistToPoint(nv.pos))
-		if d < orig-1e-9 {
-			return false
+	vias := p.layerVias[layer]
+	vg := &p.viaGrids[layer]
+	if len(vg.items) > 0 {
+		p.scr.begin(len(vias))
+		x0, y0 := vg.cellOf(chord.A)
+		x1, y1 := vg.cellOf(chord.B)
+		for x := minInt(x0, x1) - 1; x <= maxInt(x0, x1)+1; x++ {
+			if x < 0 || x >= vg.nx {
+				continue
+			}
+			for y := minInt(y0, y1) - 1; y <= maxInt(y0, y1)+1; y++ {
+				if y < 0 || y >= vg.ny {
+					continue
+				}
+				c := y*vg.nx + x
+				for _, vi := range vg.items[vg.starts[c]:vg.starts[c+1]] {
+					if p.scr.stamp[vi] == p.scr.gen {
+						continue
+					}
+					p.scr.stamp[vi] = p.scr.gen
+					nv := &vias[vi]
+					if p.d.SameGroup(nv.net, net) {
+						continue
+					}
+					limit := p.rules.ViaWidth/2 + p.rules.MinSpacing + p.d.WidthOf(net)/2
+					d := chord.DistToPoint(nv.pos)
+					if d >= limit-1e-9 {
+						continue
+					}
+					orig := math.Min(orig1.DistToPoint(nv.pos), orig2.DistToPoint(nv.pos))
+					if d < orig-1e-9 {
+						return false
+					}
+				}
+			}
 		}
 	}
 	return true
 }
 
-// refresh replaces the stored segments of one net on one layer.
+// refresh replaces the stored segments of one layer and rebuilds the
+// layer's spatial index over them. Polishing only removes vertices, so the
+// refilled view never outgrows the buffers the initial build sized.
+//
+//rdl:noalloc
 func (p *polisher) refresh(routes []*Route, layer int) {
 	segs := p.layerSegs[layer][:0]
 	for _, rt := range routes {
@@ -118,36 +240,56 @@ func (p *polisher) refresh(routes []*Route, layer int) {
 			if s.Layer != layer {
 				continue
 			}
-			for _, sg := range s.Pl.Segments() {
-				segs = append(segs, netSeg{rt.Net, sg})
+			pl := s.Pl
+			for i := 1; i < len(pl); i++ {
+				segs = append(segs, netSeg{rt.Net, geom.Seg(pl[i-1], pl[i])})
 			}
 		}
 	}
 	p.layerSegs[layer] = segs
+	p.segGrids[layer].fillNetSegs(segs, p.cell, &p.scr)
 }
 
 // polishPolyline removes spike vertices and merges turn pairs closer than
-// w_x, iterating both passes to a fixpoint. Every removal is validated with
-// ok (which may be nil for unconditional polishing, used in tests).
-func polishPolyline(pl geom.Polyline, rules design.Rules, ok func(chord, orig1, orig2 geom.Segment) bool) geom.Polyline {
-	pl = pl.Simplify()
+// w_x, iterating both passes to a fixpoint. Every removal is validated
+// against p's evolving geometry (p may be nil for unconditional polishing,
+// used in tests). The input polyline is never modified: when nothing
+// changes it is returned as-is, otherwise a fresh exact-size polyline comes
+// back — all intermediate work happens in p's scratch buffers. Removal can
+// only shorten the polyline, so "changed" is exactly "len differs".
+func polishPolyline(in geom.Polyline, rules design.Rules, p *polisher, layer, net int) geom.Polyline {
+	var pl geom.Polyline
+	var blocked []geom.Point
+	if p != nil {
+		pl = p.plBuf[:0]
+		blocked = p.blockedBuf[:0]
+	}
+	pl = append(pl, in...)
+	pl = pl.SimplifyInPlace()
 	accept := func(i int) bool {
-		if ok == nil {
+		if p == nil {
 			return true
 		}
-		return ok(geom.Seg(pl[i-1], pl[i+1]), geom.Seg(pl[i-1], pl[i]), geom.Seg(pl[i], pl[i+1]))
+		return p.chordOK(geom.Seg(pl[i-1], pl[i+1]), geom.Seg(pl[i-1], pl[i]), geom.Seg(pl[i], pl[i+1]), layer, net)
 	}
-	blocked := make(map[geom.Point]bool)
+	isBlocked := func(pt geom.Point) bool {
+		for _, b := range blocked {
+			if b == pt {
+				return true
+			}
+		}
+		return false
+	}
 	for rounds := 0; rounds < 128; rounds++ {
 		changed := false
 		// Drop reflex spikes.
 		for i := 1; i+1 < len(pl); i++ {
-			if blocked[pl[i]] {
+			if isBlocked(pl[i]) {
 				continue
 			}
 			if geom.TurnAngle(pl[i-1], pl[i], pl[i+1]) > spikeTurn {
 				if !accept(i) {
-					blocked[pl[i]] = true
+					blocked = append(blocked, pl[i])
 					continue
 				}
 				pl = append(pl[:i], pl[i+1:]...)
@@ -169,11 +311,11 @@ func polishPolyline(pl geom.Polyline, rules design.Rules, ok func(chord, orig1, 
 				if t2 < t1 {
 					drop = i + 1
 				}
-				if blocked[pl[drop]] {
+				if isBlocked(pl[drop]) {
 					continue
 				}
 				if !accept(drop) {
-					blocked[pl[drop]] = true
+					blocked = append(blocked, pl[drop])
 					continue
 				}
 				pl = append(pl[:drop], pl[drop+1:]...)
@@ -185,7 +327,17 @@ func polishPolyline(pl geom.Polyline, rules design.Rules, ok func(chord, orig1, 
 			break
 		}
 	}
-	return pl.Simplify()
+	pl = pl.SimplifyInPlace()
+	if p != nil {
+		p.plBuf = pl[:0]
+		p.blockedBuf = blocked[:0]
+	}
+	if len(pl) == len(in) {
+		return in
+	}
+	out := make(geom.Polyline, len(pl))
+	copy(out, pl)
+	return out
 }
 
 // PolishRoutes cleans every route in place, validating each vertex removal
@@ -199,14 +351,10 @@ func PolishRoutes(routes []*Route, d *design.Design) float64 {
 			continue
 		}
 		for i := range rt.Segs {
-			layer := rt.Segs[i].Layer
-			net := rt.Net
-			cleaned := polishPolyline(rt.Segs[i].Pl, rules, func(chord, o1, o2 geom.Segment) bool {
-				return p.chordOK(chord, o1, o2, layer, net)
-			})
+			cleaned := polishPolyline(rt.Segs[i].Pl, rules, p, rt.Segs[i].Layer, rt.Net)
 			if len(cleaned) != len(rt.Segs[i].Pl) {
 				rt.Segs[i].Pl = cleaned
-				p.refresh(routes, layer)
+				p.refresh(routes, rt.Segs[i].Layer)
 			}
 		}
 	}

@@ -2,7 +2,7 @@ package detail
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"rdlroute/internal/dt"
@@ -25,6 +25,14 @@ import (
 // wires by the tangent-line construction of Fig. 12: find the constraint
 // circle at the violating point, replace the straight segment by the two
 // tangents through source and target, iterate.
+//
+// Jobs are prepared once per run: access points are frozen after the DP
+// adjustment, so passage endpoints, stub inner ends, corner order, corner
+// discs and access-point obstacles are all invariant across retry attempts
+// and live on the job. Each job also owns the scratch buffers its tile
+// routing mutates (fit/full polylines, routed list, per-passage route
+// buffers); a job is executed by exactly one worker at a time, so warm
+// attempts run without growing the heap.
 
 // tilePassage is one chain hop to be realized inside a tile.
 type tilePassage struct {
@@ -34,14 +42,32 @@ type tilePassage struct {
 	// cornerDist orders passages within their corner group, innermost
 	// first.
 	cornerDist float64
-	route      geom.Polyline
-	failed     bool
+	// Geometry frozen at preparation time: the chain endpoint positions,
+	// the perpendicular stub inner ends, and the reference point the fit
+	// detour bulges away from.
+	a, b   geom.Point
+	ia, ib geom.Point
+	ref    geom.Point
+	// route is the passage's output polyline — a buffer reused across
+	// retry attempts, read by assemble after the final attempt.
+	route  geom.Polyline
+	failed bool
 }
 
-// tileJob collects the passages of one tile.
+// tileJob collects the passages of one tile plus the tile's prepared
+// read-only geometry and the scratch state tile routing reuses.
 type tileJob struct {
 	key      tileKeyD
 	passages []*tilePassage
+	// Prepared once: the tile triangle, the corner discs that carry metal,
+	// and every passage's fixed access points as net-sorted obstacles.
+	tri   [3]geom.Point
+	discs []geom.Circle
+	apObs []netPoints
+	// Scratches owned by the job.
+	routed  []*tilePassage
+	fitBuf  geom.Polyline
+	fullBuf geom.Polyline
 }
 
 type tileKeyD struct{ layer, tri int }
@@ -52,12 +78,11 @@ type netPoints struct {
 	pts []geom.Point
 }
 
-// routeTiles performs tile routing over all tiles and stores the resulting
-// polylines back into the passages, returning them grouped per net hop. The
-// scale parameter multiplies every pairwise clearance (>1 on retries).
-// Cancelling ctx stops between tiles; unreached passages keep empty routes,
-// which assemble replaces with straight hops.
-func (d *Detailer) routeTiles(ctx context.Context, scale float64) (map[hopKey]geom.Polyline, []*tilePassage) {
+// buildTileJobs groups every non-via guide link into its tile's job, in
+// canonical (layer, tri) order, prepares each job's frozen geometry, and
+// sizes the flat hop index assemble reads routed polylines from. Called
+// once per run, after the access points have been placed.
+func (d *Detailer) buildTileJobs() {
 	jobs := make(map[tileKeyD]*tileJob)
 	for net, ch := range d.Chains {
 		if ch == nil {
@@ -78,106 +103,95 @@ func (d *Detailer) routeTiles(ctx context.Context, scale float64) (map[hopKey]ge
 				job = &tileJob{key: key}
 				jobs[key] = job
 			}
-			p := &tilePassage{net: net, chainIdx: i, corner: link.Corner}
-			job.passages = append(job.passages, p)
+			job.passages = append(job.passages, &tilePassage{net: net, chainIdx: i, corner: link.Corner})
 		}
 	}
-
-	var failures []*tilePassage
-	out := make(map[hopKey]geom.Polyline)
 	// Deterministic tile order.
 	keys := make([]tileKeyD, 0, len(jobs))
 	for k := range jobs {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].layer != keys[b].layer {
-			return keys[a].layer < keys[b].layer
+	slices.SortFunc(keys, func(a, b tileKeyD) int {
+		if a.layer != b.layer {
+			return a.layer - b.layer
 		}
-		return keys[a].tri < keys[b].tri
+		return a.tri - b.tri
 	})
-	// One unit per tile: routeOneTile touches only its own job, and the
-	// shared Detailer state it reads — chains, access points, graph, rules —
-	// is frozen during tile routing, so tiles fan out freely across the
-	// pool. The merge below walks the keys in their canonical order, making
-	// the hop map contents and the failure list independent of the pool
-	// size; a cancelled context skips un-started tiles, whose passages keep
-	// empty routes exactly like the serial path.
-	units := make([]func() struct{}, len(keys))
+	d.tileJobs = make([]*tileJob, len(keys))
 	for i, k := range keys {
-		job := jobs[k]
-		units[i] = func() struct{} {
-			if !obs.Stopped(ctx) {
-				d.routeOneTile(job, scale)
-			}
-			return struct{}{}
-		}
+		d.tileJobs[i] = jobs[k]
+		d.prepTileJob(jobs[k])
 	}
-	pool.Run(units, d.Opt.workers())
-	for _, k := range keys {
-		for _, p := range jobs[k].passages {
-			out[hopKey{p.net, p.chainIdx}] = p.route
-			if p.failed {
-				failures = append(failures, p)
-			}
+
+	// Flat (net, chainIdx) → polyline index replacing the per-attempt hops
+	// map: chain i owns the hop slots hopOff[i] .. hopOff[i+1]-1.
+	d.hopOff = make([]int32, len(d.Chains)+1)
+	for net, ch := range d.Chains {
+		n := 0
+		if ch != nil && len(ch.Elems) > 1 {
+			n = len(ch.Elems) - 1
 		}
+		d.hopOff[net+1] = d.hopOff[net] + int32(n)
 	}
-	return out, failures
+	d.hopPl = make([]geom.Polyline, d.hopOff[len(d.Chains)])
 }
 
-// hopKey identifies one chain hop of one net.
-type hopKey struct {
-	net      int
-	chainIdx int
+// hopAt returns the routed polyline of one chain hop (empty when the tile
+// was never reached, e.g. after cancellation).
+//
+//rdl:noalloc
+func (d *Detailer) hopAt(net, i int) geom.Polyline {
+	return d.hopPl[d.hopOff[net]+int32(i)]
 }
 
-// guideOf returns the committed guide of a net (or nil).
-func (d *Detailer) guideOf(net int) *global.Guide {
-	return d.guides[net]
-}
-
-// routeOneTile routes all passages of one tile.
-func (d *Detailer) routeOneTile(job *tileJob, scale float64) {
+// prepTileJob computes everything about a job that does not change across
+// retry attempts: passage endpoints and processing order, corner discs,
+// access-point obstacles, stub inner ends and reference points.
+func (d *Detailer) prepTileJob(job *tileJob) {
 	tile := d.G.TileOf(job.key.layer, job.key.tri)
 	mesh := d.G.Layers[job.key.layer].Mesh
 
 	// Endpoint positions for each passage.
-	ends := func(p *tilePassage) (geom.Point, geom.Point) {
-		ch := d.Chains[p.net]
-		return d.ElemPos(ch.Elems[p.chainIdx]), d.ElemPos(ch.Elems[p.chainIdx+1])
-	}
-
-	// Order: group by corner, corners in clockwise order (descending vertex
-	// ordinal works on CCW triangles), innermost passage first.
 	for _, p := range job.passages {
-		a, b := ends(p)
+		ch := d.Chains[p.net]
+		p.a = d.ElemPos(ch.Elems[p.chainIdx])
+		p.b = d.ElemPos(ch.Elems[p.chainIdx+1])
 		if p.corner >= 0 {
 			c := mesh.Points[p.corner]
-			p.cornerDist = a.Dist(c) + b.Dist(c)
+			p.cornerDist = p.a.Dist(c) + p.b.Dist(c)
 		}
 	}
-	sort.SliceStable(job.passages, func(i, j int) bool {
-		pi, pj := job.passages[i], job.passages[j]
+	// Order: group by corner, corners in clockwise order (descending vertex
+	// ordinal works on CCW triangles), innermost passage first. Insertion
+	// sort: stable like the sort.SliceStable it replaces (so the result is
+	// byte-identical), without the reflect-based swapper allocation, and the
+	// per-tile passage lists are short.
+	before := func(pi, pj *tilePassage) bool {
 		oi := vertexOrd(tile, pi.corner)
 		oj := vertexOrd(tile, pj.corner)
 		if oi != oj {
 			return oi > oj // clockwise corner order on a CCW triangle
 		}
 		return pi.cornerDist < pj.cornerDist
-	})
+	}
+	ps := job.passages
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && before(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
 
 	// Hard obstacles: the discs of the tile's corner vertices that carry
 	// metal (vias, pins, bumps). Radii stored WITHOUT the passing wire's
 	// half width, which is added per passage in fitRoute.
 	rules := d.G.Design.Rules
-	var discs []geom.Circle
 	for i := 0; i < 3; i++ {
 		vn := d.G.Node(tile.ViaNodes[i])
 		if vn.VertKind == viaplan.KindDummy {
 			continue
 		}
 		r := rules.ViaWidth/2 + rules.MinSpacing
-		discs = append(discs, geom.Circ(mesh.Points[tile.Verts[i]], r))
+		job.discs = append(job.discs, geom.Circ(mesh.Points[tile.Verts[i]], r))
 	}
 	// Soft obstacles: every passage's access points. Earlier-routed wires
 	// must keep clearance from later passages' fixed entry points, or those
@@ -198,21 +212,20 @@ func (d *Detailer) routeOneTile(job *tileJob, scale float64) {
 	for net := range apByNet {
 		apNets = append(apNets, net)
 	}
-	sort.Ints(apNets)
-	apObstacles := make([]netPoints, 0, len(apNets))
+	slices.Sort(apNets)
+	job.apObs = make([]netPoints, 0, len(apNets))
 	for _, net := range apNets {
-		apObstacles = append(apObstacles, netPoints{net: net, pts: apByNet[net]})
+		job.apObs = append(job.apObs, netPoints{net: net, pts: apByNet[net]})
 	}
 
-	tri := [3]geom.Point{
+	job.tri = [3]geom.Point{
 		mesh.Points[tile.Verts[0]],
 		mesh.Points[tile.Verts[1]],
 		mesh.Points[tile.Verts[2]],
 	}
-	var routed []*tilePassage
+	// Stub ends and reference points.
 	for _, p := range job.passages {
-		a, b := ends(p)
-		ref := d.refPoint(tile, mesh, p, a, b)
+		p.ref = d.refPoint(tile, mesh, p)
 		// The 3-segment pattern: through-traffic enters and leaves the tile
 		// perpendicular to the tile edge so that adjacent access points at
 		// pitch spacing along the edge keep full wire clearance where the
@@ -220,20 +233,89 @@ func (d *Detailer) routeOneTile(job *tileJob, scale float64) {
 		// Tight corner wraps skip the stub (a perpendicular entry would
 		// force a >90° turn); their clearance comes from the fit
 		// construction instead.
-		ia := d.stubEnd(tile, mesh, p, p.chainIdx, a, b)
-		ib := d.stubEnd(tile, mesh, p, p.chainIdx+1, b, a)
-		mid := d.fitRoute(ia, ib, ref, p, routed, discs, apObstacles, scale, tri)
-		var full geom.Polyline
-		if !ia.ApproxEq(a) {
-			full = append(full, a)
+		p.ia = d.stubEnd(tile, mesh, p, p.chainIdx, p.a, p.b)
+		p.ib = d.stubEnd(tile, mesh, p, p.chainIdx+1, p.b, p.a)
+	}
+}
+
+// routeTiles performs tile routing over all tiles and stores the resulting
+// polylines into the flat hop index, returning the failed passages. The
+// scale parameter multiplies every pairwise clearance (>1 on retries).
+// Cancelling ctx stops between tiles; unreached passages keep empty routes,
+// which assemble replaces with straight hops.
+func (d *Detailer) routeTiles(ctx context.Context, scale float64) []*tilePassage {
+	for _, job := range d.tileJobs {
+		for _, p := range job.passages {
+			p.route = p.route[:0]
+			p.failed = false
+		}
+	}
+	// One unit per tile: routeOneTile touches only its own job, and the
+	// shared Detailer state it reads — chains, access points, graph, rules —
+	// is frozen during tile routing, so tiles fan out freely across the
+	// pool. The merge below walks the jobs in their canonical order, making
+	// the hop index contents and the failure list independent of the pool
+	// size; a cancelled context skips un-started tiles, whose passages keep
+	// empty routes exactly like the serial path.
+	if workers := d.Opt.workers(); workers <= 1 {
+		for _, job := range d.tileJobs {
+			if !obs.Stopped(ctx) {
+				d.routeOneTile(job, scale)
+			}
+		}
+	} else {
+		units := make([]func() struct{}, len(d.tileJobs))
+		for i, job := range d.tileJobs {
+			job := job
+			units[i] = func() struct{} {
+				if !obs.Stopped(ctx) {
+					d.routeOneTile(job, scale)
+				}
+				return struct{}{}
+			}
+		}
+		pool.Run(units, workers)
+	}
+
+	failures := d.failBuf[:0]
+	for _, job := range d.tileJobs {
+		for _, p := range job.passages {
+			d.hopPl[d.hopOff[p.net]+int32(p.chainIdx)] = p.route
+			if p.failed {
+				failures = append(failures, p)
+			}
+		}
+	}
+	d.failBuf = failures
+	return failures
+}
+
+// guideOf returns the committed guide of a net (or nil).
+func (d *Detailer) guideOf(net int) *global.Guide {
+	return d.guides[net]
+}
+
+// routeOneTile routes all passages of one tile into their route buffers.
+//
+//rdl:noalloc
+func (d *Detailer) routeOneTile(job *tileJob, scale float64) {
+	routed := job.routed[:0]
+	for _, p := range job.passages {
+		mid := d.fitRoute(job, p, routed, scale)
+		full := job.fullBuf[:0]
+		if !p.ia.ApproxEq(p.a) {
+			full = append(full, p.a)
 		}
 		full = append(full, mid...)
-		if !ib.ApproxEq(b) {
-			full = append(full, b)
+		if !p.ib.ApproxEq(p.b) {
+			full = append(full, p.b)
 		}
-		p.route = full.Simplify()
+		job.fullBuf = full
+		full = full.SimplifyInPlace()
+		p.route = append(p.route[:0], full...)
 		routed = append(routed, p)
 	}
+	job.routed = routed
 }
 
 // stubEnd returns the inner end of the perpendicular entry stub for the
@@ -287,22 +369,23 @@ func (d *Detailer) stubEnd(tile *rgraph.Tile, mesh *dt.Mesh, p *tilePassage, ele
 
 // refPoint picks the reference the detour must bulge away from: the wrapped
 // corner when there is one, otherwise the tile centroid.
-func (d *Detailer) refPoint(tile *rgraph.Tile, mesh *dt.Mesh, p *tilePassage, a, b geom.Point) geom.Point {
+func (d *Detailer) refPoint(tile *rgraph.Tile, mesh *dt.Mesh, p *tilePassage) geom.Point {
 	if p.corner >= 0 {
 		return mesh.Points[p.corner]
 	}
 	return geom.Centroid(mesh.Points[tile.Verts[0]], mesh.Points[tile.Verts[1]], mesh.Points[tile.Verts[2]])
 }
 
-// fitRoute builds the polyline for one passage between the stub inner ends,
-// iteratively resolving spacing violations against previously routed
-// passages of other nets and the corner discs (Fig. 12 construction). An
-// unresolvable violation marks the passage failed.
-func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
-	routed []*tilePassage, discs []geom.Circle, apObs []netPoints,
-	scale float64, tri [3]geom.Point) geom.Polyline {
-
-	route := geom.Polyline{a, b}
+// fitRoute builds the polyline for one passage between the stub inner ends
+// in the job's fit buffer, iteratively resolving spacing violations against
+// previously routed passages of other nets and the corner discs (Fig. 12
+// construction). An unresolvable violation marks the passage failed. The
+// returned polyline aliases the job's fit buffer; the caller copies it out.
+//
+//rdl:noalloc
+func (d *Detailer) fitRoute(job *tileJob, self *tilePassage, routed []*tilePassage, scale float64) geom.Polyline {
+	a, b, ref := self.ia, self.ib, self.ref
+	route := append(job.fitBuf[:0], a, b)
 	const slack = 1e-9
 	selfHalf := d.G.Design.WidthOf(self.net) / 2
 	for iter := 0; iter < d.Opt.MaxFitIters; iter++ {
@@ -310,7 +393,7 @@ func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
 		for si := 0; si+1 < len(route) && !fixed; si++ {
 			seg := geom.Seg(route[si], route[si+1])
 			// Corner discs.
-			for _, disc := range discs {
+			for _, disc := range job.discs {
 				if disc.C.ApproxEq(a) || disc.C.ApproxEq(b) {
 					continue // the passage's own terminal via/pin
 				}
@@ -319,7 +402,7 @@ func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
 					continue
 				}
 				found = true
-				if d.resolveViolation(&route, si, eff, ref, tri) {
+				if d.resolveViolation(&route, si, eff, ref, job.tri) {
 					fixed = true
 					break
 				}
@@ -328,7 +411,7 @@ func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
 				break
 			}
 			// Access points of the other passages in this tile.
-			for _, ob := range apObs {
+			for _, ob := range job.apObs {
 				if d.G.Design.SameGroup(ob.net, self.net) {
 					continue
 				}
@@ -339,7 +422,7 @@ func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
 						continue
 					}
 					found = true
-					if d.resolveViolation(&route, si, disc, ref, tri) {
+					if d.resolveViolation(&route, si, disc, ref, job.tri) {
 						fixed = true
 						break
 					}
@@ -363,31 +446,36 @@ func (d *Detailer) fitRoute(a, b, ref geom.Point, self *tilePassage,
 					continue
 				}
 				found = true
-				if d.resolveViolation(&route, si, geom.Circ(pc, clear), ref, tri) {
+				if d.resolveViolation(&route, si, geom.Circ(pc, clear), ref, job.tri) {
 					fixed = true
 					break
 				}
 			}
 		}
 		if !found {
-			return route.Simplify()
+			job.fitBuf = route
+			return route.SimplifyInPlace()
 		}
 		if !fixed {
 			// A violation exists but the tangent construction cannot clear
 			// it (an endpoint sits inside the constraint circle).
 			self.failed = true
-			return route.Simplify()
+			job.fitBuf = route
+			return route.SimplifyInPlace()
 		}
 	}
 	self.failed = true
-	return route.Simplify()
+	job.fitBuf = route
+	return route.SimplifyInPlace()
 }
 
 // resolveViolation replaces segment si of the route with the two tangents of
-// the constraint circle (Fig. 12), inserting the tangent intersection point.
-// The detour bulges toward the side of the obstacle the segment already runs
-// on, so it can never flip across the violated route. It reports whether the
-// route changed.
+// the constraint circle (Fig. 12), splicing in the tangent intersection
+// point in place. The detour bulges toward the side of the obstacle the
+// segment already runs on, so it can never flip across the violated route.
+// It reports whether the route changed.
+//
+//rdl:noalloc
 func (d *Detailer) resolveViolation(route *geom.Polyline, si int, c geom.Circle, ref geom.Point, tri [3]geom.Point) bool {
 	ps, pt := (*route)[si], (*route)[si+1]
 	// Bulge away from the obstacle toward the segment's current side; when
@@ -414,7 +502,9 @@ func (d *Detailer) resolveViolation(route *geom.Polyline, si int, c geom.Circle,
 	if !geom.PointInTriangle(i, tri[0], tri[1], tri[2]) {
 		return false
 	}
-	*route = append((*route)[:si+1], append(geom.Polyline{i}, (*route)[si+1:]...)...)
+	*route = append(*route, geom.Point{})
+	copy((*route)[si+2:], (*route)[si+1:len(*route)-1])
+	(*route)[si+1] = i
 	atomic.AddInt64(&d.fitTangents, 1) // tiles route concurrently
 	return true
 }

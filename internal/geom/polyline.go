@@ -60,6 +60,8 @@ func (pl Polyline) Reversed() Polyline {
 // DistToPoint returns the minimum distance from p to any segment of the
 // polyline, together with the closest point on the polyline. A polyline with
 // a single point measures to that point; an empty polyline returns +Inf.
+//
+//rdl:noalloc
 func (pl Polyline) DistToPoint(p Point) (float64, Point) {
 	if len(pl) == 0 {
 		return math.Inf(1), Point{}
@@ -69,8 +71,8 @@ func (pl Polyline) DistToPoint(p Point) (float64, Point) {
 	}
 	best := math.Inf(1)
 	var bp Point
-	for _, s := range pl.Segments() {
-		q := s.ClosestPoint(p)
+	for i := 1; i < len(pl); i++ {
+		q := Seg(pl[i-1], pl[i]).ClosestPoint(p)
 		if d := p.Dist(q); d < best {
 			best, bp = d, q
 		}
@@ -81,6 +83,8 @@ func (pl Polyline) DistToPoint(p Point) (float64, Point) {
 // DistToSegment returns the minimum distance between the polyline and
 // segment s, together with the closest point on the polyline realizing it.
 // An empty polyline returns +Inf.
+//
+//rdl:noalloc
 func (pl Polyline) DistToSegment(s Segment) (float64, Point) {
 	if len(pl) == 0 {
 		return math.Inf(1), Point{}
@@ -90,8 +94,8 @@ func (pl Polyline) DistToSegment(s Segment) (float64, Point) {
 	}
 	best := math.Inf(1)
 	var bp Point
-	for _, seg := range pl.Segments() {
-		d, onPl, _ := seg.DistToSegment(s)
+	for i := 1; i < len(pl); i++ {
+		d, onPl, _ := Seg(pl[i-1], pl[i]).DistToSegment(s)
 		if d < best {
 			best, bp = d, onPl
 		}
@@ -100,6 +104,8 @@ func (pl Polyline) DistToSegment(s Segment) (float64, Point) {
 }
 
 // DistToPolyline returns the minimum distance between two polylines.
+//
+//rdl:noalloc
 func (pl Polyline) DistToPolyline(other Polyline) float64 {
 	if len(pl) == 0 || len(other) == 0 {
 		return math.Inf(1)
@@ -109,8 +115,8 @@ func (pl Polyline) DistToPolyline(other Polyline) float64 {
 		return d
 	}
 	best := math.Inf(1)
-	for _, s := range other.Segments() {
-		d, _ := pl.DistToSegment(s)
+	for i := 1; i < len(other); i++ {
+		d, _ := pl.DistToSegment(Seg(other[i-1], other[i]))
 		if d < best {
 			best = d
 		}
@@ -145,6 +151,49 @@ func (pl Polyline) Simplify() Polyline {
 		out = append(out, cur)
 	}
 	return append(out, dedup[len(dedup)-1])
+}
+
+// SimplifyInPlace is Simplify without the copy: duplicate and collinear
+// interior points are compacted within pl's own backing array and the
+// shortened slice is returned. The caller must own the backing array — the
+// input slice's contents are overwritten. Output bytes are identical to
+// Simplify's (pinned by TestSimplifyInPlaceMatchesSimplify); the detail
+// stage's scratch-arena hot paths use this form so warm iterations stay
+// allocation-free.
+//
+//rdl:noalloc
+func (pl Polyline) SimplifyInPlace() Polyline {
+	if len(pl) == 0 {
+		return pl
+	}
+	// Pass 1: drop consecutive duplicates, compacting left. The write
+	// cursor never passes the read cursor, so unread points survive.
+	w := 1
+	for i := 1; i < len(pl); i++ {
+		if !pl[i].ApproxEq(pl[w-1]) {
+			pl[w] = pl[i]
+			w++
+		}
+	}
+	pl = pl[:w]
+	if len(pl) < 3 {
+		return pl
+	}
+	// Pass 2: drop interior collinear points preserving direction of
+	// travel, mirroring Simplify's second pass.
+	last := pl[len(pl)-1]
+	w = 1
+	for i := 1; i < len(pl)-1; i++ {
+		prev := pl[w-1]
+		cur, next := pl[i], pl[i+1]
+		if Orient(prev, cur, next) == Collinear && cur.Sub(prev).Dot(next.Sub(cur)) > 0 {
+			continue
+		}
+		pl[w] = cur
+		w++
+	}
+	pl[w] = last
+	return pl[:w+1]
 }
 
 // MaxTurnAngle returns the largest turn angle (deviation from straight, in

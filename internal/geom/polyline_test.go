@@ -190,3 +190,61 @@ func TestOctilinearDominance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSimplifyInPlaceMatchesSimplify pins byte-identical output between the
+// copying and in-place simplifiers on deterministic pseudo-random polylines
+// (duplicates, collinear runs, backtracks and spikes included), plus the
+// empty and tiny edge cases the copying form cannot take.
+func TestSimplifyInPlaceMatchesSimplify(t *testing.T) {
+	if got := (Polyline{}).SimplifyInPlace(); len(got) != 0 {
+		t.Fatalf("empty: got %v", got)
+	}
+	if got := (Polyline{Pt(1, 2)}).SimplifyInPlace(); len(got) != 1 || got[0] != Pt(1, 2) {
+		t.Fatalf("single: got %v", got)
+	}
+	// xorshift so the cases are deterministic without math/rand.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for tc := 0; tc < 500; tc++ {
+		n := int(next()%12) + 1
+		pl := make(Polyline, 0, n)
+		x, y := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			switch next() % 5 {
+			case 0: // exact duplicate of the previous point
+				if len(pl) > 0 {
+					pl = append(pl, pl[len(pl)-1])
+					continue
+				}
+				fallthrough
+			case 1: // collinear step
+				x += 1
+			case 2: // collinear backtrack
+				x -= 2
+			case 3:
+				y += float64(next()%7) - 3
+			default:
+				x += float64(next()%5) - 2
+				y += 1
+			}
+			pl = append(pl, Pt(x, y))
+		}
+		want := pl.Simplify()
+		cp := make(Polyline, len(pl))
+		copy(cp, pl)
+		got := cp.SimplifyInPlace()
+		if len(got) != len(want) {
+			t.Fatalf("case %d (%v): in-place len %d, copy len %d", tc, pl, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("case %d (%v): in-place[%d]=%v, copy=%v", tc, pl, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -35,3 +35,43 @@ func TestRunEmpty(t *testing.T) {
 		t.Fatalf("Run(nil) returned %v, want empty", got)
 	}
 }
+
+// TestRunWithWorkerSlots pins RunWith's two contracts: results are indexed
+// by unit regardless of worker count, and every worker index handed to a
+// unit is within [0, workers) so per-worker scratch slots never collide or
+// go out of bounds.
+func TestRunWithWorkerSlots(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 4, 8, 200} {
+		slots := workers
+		if slots > n {
+			slots = n
+		}
+		units := make([]func(w int) [2]int, n)
+		for i := range units {
+			i := i
+			units[i] = func(w int) [2]int { return [2]int{i * i, w} }
+		}
+		got := RunWith(units, workers)
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		for i, r := range got {
+			if r[0] != i*i {
+				t.Fatalf("workers=%d: unit %d returned %d, want %d", workers, i, r[0], i*i)
+			}
+			if r[1] < 0 || r[1] >= slots {
+				t.Fatalf("workers=%d: unit %d ran on worker %d, want [0,%d)", workers, i, r[1], slots)
+			}
+		}
+	}
+}
+
+func TestRunWithSerialUsesSlotZero(t *testing.T) {
+	units := []func(w int) int{func(w int) int { return w }, func(w int) int { return w }}
+	for _, w := range RunWith(units, 1) {
+		if w != 0 {
+			t.Fatalf("serial RunWith used worker slot %d, want 0", w)
+		}
+	}
+}
