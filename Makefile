@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race-gate lint fmt-check bench bench-serve bench-drc bench-route alloc-gate fmt
+.PHONY: all tier1 tier2 race-gate lint lint-escape fmt-check bench bench-serve bench-drc bench-route alloc-gate fmt
 
 all: tier1
 
@@ -23,15 +23,24 @@ tier2: lint
 # facade's Parallelism propagation (including the via-accounting
 # differential across Parallelism 1/2/4/8) and the serving layer. Faster
 # than a full tier2 run.
-race-gate: lint
+race-gate: lint lint-escape
 	$(GO) vet ./...
 	$(GO) test -race ./internal/detail/ ./internal/global/ ./internal/verify/ ./internal/serve/ ./internal/router/ ./internal/portfolio/
 
 # Domain-specific static analysis (internal/lint): determinism, map
-# iteration, float equality, sanctioned concurrency, and the //rdl:noalloc
-# hot-path contract. Exit 1 on any finding; see doc/LINT.md.
+# iteration, float equality, sanctioned concurrency, the //rdl:noalloc
+# hot-path contract — propagated interprocedurally through the module
+# call graph — and the speculative read-set pairing rule in
+# internal/global. Exit 1 on any finding; see doc/LINT.md.
 lint:
 	$(GO) run ./cmd/rdllint
+
+# Compiler-backed escape gate: replays `go build -gcflags=-m=2`
+# diagnostics and fails if the optimizer moves anything to the heap
+# inside a //rdl:noalloc body beyond the audited sites — the second line
+# of defence behind the AST noalloc/transalloc passes.
+lint-escape:
+	$(GO) run ./cmd/rdllint -escape
 
 # fmt-check fails (and prints the offenders) when any file needs gofmt,
 # without rewriting anything — the CI-side counterpart of `make fmt`.

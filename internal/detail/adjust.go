@@ -181,6 +181,8 @@ func (d *Detailer) packEdge(id rgraph.NodeID, seq []int, edgeLen float64) {
 // incidenceFactor returns 1/sin(θ) clamped to [1, 2.5], where θ is the
 // shallower of the two angles the net's wire makes with the edge at this
 // access point, estimated from the current chain neighbour positions.
+//
+//rdl:noalloc
 func (d *Detailer) incidenceFactor(id rgraph.NodeID, net int) float64 {
 	const maxFactor = 2.5
 	apIdx, ok := d.apAt[apKey{id, net}]
@@ -196,7 +198,7 @@ func (d *Detailer) incidenceFactor(id rgraph.NodeID, net int) float64 {
 	edgeDir := node.EndB.Sub(node.EndA).Unit()
 	here := d.Pos(apIdx)
 	worst := 1.0
-	for _, nb := range []int{ap.ElemIdx - 1, ap.ElemIdx + 1} {
+	for _, nb := range [2]int{ap.ElemIdx - 1, ap.ElemIdx + 1} {
 		dir := d.ElemPos(ch.Elems[nb]).Sub(here)
 		n := dir.Norm()
 		if n == 0 {

@@ -120,8 +120,11 @@ type Detailer struct {
 
 // growSlice returns buf resized to n elements, reallocating only when the
 // capacity is insufficient. Contents are unspecified.
+//
+//rdl:noalloc
 func growSlice[T any](buf []T, n int) []T {
 	if cap(buf) < n {
+		//rdl:allow noalloc amortized growth: reallocates only while a buffer is still growing toward its steady-state size, never on warm calls
 		return make([]T, n)
 	}
 	return buf[:n]

@@ -100,9 +100,7 @@ func (o DRCOptions) workers() int { return pool.Default(o.Workers) }
 // for group-aware (multi-pin) checking.
 func CheckDRC(routes []*Route, rules design.Rules, layers int) []Violation {
 	return checkDRC(routes, rules, layers,
-		func(a, b int) bool { return a == b },
-		func(a, b int) float64 { return rules.Pitch() },
-		nil, 1, nil)
+		netRules{pitch: rules.Pitch()}, nil, 1, nil)
 }
 
 // CheckDRCWithDesign runs the rule checks with group-aware same-net
@@ -110,14 +108,14 @@ func CheckDRC(routes []*Route, rules design.Rules, layers int) []Violation {
 // and additionally verifies that no wire enters any of the design's
 // keep-out regions.
 func CheckDRCWithDesign(routes []*Route, d *design.Design) []Violation {
-	return checkDRC(routes, d.Rules, d.WireLayers, d.SameGroup, d.Clearance, d, 1, nil)
+	return checkDRC(routes, d.Rules, d.WireLayers, netRules{d: d}, d, 1, nil)
 }
 
 // CheckDRCParallel is CheckDRCWithDesign fanned out over a worker pool per
 // (layer, grid stripe). The findings are identical to the serial path —
 // same violations, same order — only the wall-clock differs.
 func CheckDRCParallel(routes []*Route, d *design.Design, opt DRCOptions) []Violation {
-	return checkDRC(routes, d.Rules, d.WireLayers, d.SameGroup, d.Clearance,
+	return checkDRC(routes, d.Rules, d.WireLayers, netRules{d: d},
 		d, opt.workers(), opt.Rec)
 }
 

@@ -56,6 +56,43 @@ type drcScratch struct {
 	gen   uint32
 	// counts is the CSR bucket-size buffer for grid builds.
 	counts []int32
+	// segBuf is the flattened-segment staging buffer grid builds fill from:
+	// callers copy their typed views (drcSeg, netSeg, netVia) into it so the
+	// counting passes iterate a plain slice instead of calling back through
+	// a func value per segment.
+	segBuf []geom.Segment
+}
+
+// netRules resolves the pairwise net semantics the checker needs — same-net
+// equivalence and required clearance — from either a full Design
+// (group-aware multi-pin nets) or bare Rules (electrically distinct nets,
+// uniform pitch). A concrete struct instead of a pair of func-value
+// parameters keeps every call on the //rdl:noalloc spacing scan statically
+// resolvable for the transalloc pass.
+type netRules struct {
+	d     *design.Design // nil in the rules-only variant
+	pitch float64        // clearance fallback when d is nil
+}
+
+// sameNet reports whether two nets carry no spacing rule between each other.
+//
+//rdl:noalloc
+func (nr netRules) sameNet(a, b int) bool {
+	if nr.d != nil {
+		return nr.d.SameGroup(a, b)
+	}
+	return a == b
+}
+
+// clearance returns the required centre-to-centre distance between wires of
+// nets a and b.
+//
+//rdl:noalloc
+func (nr netRules) clearance(a, b int) float64 {
+	if nr.d != nil {
+		return nr.d.Clearance(a, b)
+	}
+	return nr.pitch
 }
 
 // begin starts a new dedup generation sized for n segments.
@@ -130,11 +167,10 @@ type drcLayer struct {
 // segment's own cells, so a pair whose clearance exceeded the cell size
 // could sit outside the window and a real violation would be silently
 // missed. The old pitch-derived sizing had exactly that hole for wide
-// (per-net width) nets; deriving the cell from clearFn over the
+// (per-net width) nets; deriving the cell from the clearance rule over the
 // participating nets closes it.
 func buildLayer(routes []*Route, layer int, rules design.Rules,
-	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
-	scr *drcScratch) *drcLayer {
+	nr netRules, scr *drcScratch) *drcLayer {
 	l := &drcLayer{layer: layer, lines: SegmentsOnLayer(routes, layer)}
 
 	// Distinct nets on the layer, in ascending order (lines are net-sorted).
@@ -147,10 +183,10 @@ func buildLayer(routes []*Route, layer int, rules design.Rules,
 	maxClear := 0.0
 	for i := 0; i < len(nets); i++ {
 		for j := i + 1; j < len(nets); j++ {
-			if sameNet(nets[i], nets[j]) {
+			if nr.sameNet(nets[i], nets[j]) {
 				continue
 			}
-			if c := clearFn(nets[i], nets[j]); c > maxClear {
+			if c := nr.clearance(nets[i], nets[j]); c > maxClear {
 				maxClear = c
 			}
 		}
@@ -173,11 +209,15 @@ func buildLayer(routes []*Route, layer int, rules design.Rules,
 // buildGrid fills the layer's flat CSR grid in two counting passes over the
 // segments, reusing the worker scratch's counts buffer.
 func (l *drcLayer) buildGrid(scr *drcScratch) {
-	segs := l.segs
-	l.grid.fill(len(segs), func(i int) geom.Segment { return segs[i].seg }, l.cell, scr)
+	buf := growSlice(scr.segBuf, len(l.segs))
+	for i := range l.segs {
+		buf[i] = l.segs[i].seg
+	}
+	scr.segBuf = buf
+	l.grid.fill(buf, l.cell, scr)
 }
 
-// fill (re)builds the grid over n segments in two counting passes, reusing
+// fill (re)builds the grid over the segments in two counting passes, reusing
 // the grid's starts/items backing arrays and the scratch's counts buffer,
 // so warm refills over same-or-smaller geometry do not allocate. Bucket
 // contents come out in ascending segment-index order (the order the former
@@ -185,7 +225,17 @@ func (l *drcLayer) buildGrid(scr *drcScratch) {
 // rectangle spanned by its endpoints, a superset of the cells it passes
 // through, so a ±1-cell query walk around any point of it is exhaustive for
 // distances up to one cell edge.
-func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *drcScratch) {
+//
+// Callers stage their typed segment views into a plain []geom.Segment
+// (usually the scratch's segBuf) instead of handing fill an accessor
+// closure: the copy costs one linear pass, and in exchange both counting
+// passes iterate a flat slice with no per-segment indirect call, and the
+// //rdl:noalloc refresh paths that reach fill contain no func values the
+// transalloc pass would have to take on faith.
+//
+//rdl:noalloc
+func (g *flatGrid) fill(segs []geom.Segment, cell float64, scr *drcScratch) {
+	n := len(segs)
 	if n == 0 {
 		g.nx, g.ny = 0, 0
 		g.starts, g.items = g.starts[:0], g.items[:0]
@@ -194,7 +244,7 @@ func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	for i := 0; i < n; i++ {
-		s := segAt(i)
+		s := segs[i]
 		minX = math.Min(minX, math.Min(s.A.X, s.B.X))
 		minY = math.Min(minY, math.Min(s.A.Y, s.B.Y))
 		maxX = math.Max(maxX, math.Max(s.A.X, s.B.X))
@@ -208,6 +258,7 @@ func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *
 
 	counts := scr.counts
 	if cap(counts) < ncells {
+		//rdl:allow noalloc counts growth is amortized setup: it happens only when a layer's cell count exceeds every earlier one, never in warm refills
 		counts = make([]int32, ncells)
 	}
 	counts = counts[:ncells]
@@ -219,7 +270,7 @@ func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *
 	// Pass 1: bucket sizes.
 	total := 0
 	for i := 0; i < n; i++ {
-		s := segAt(i)
+		s := segs[i]
 		x0, y0 := g.cellOf(s.A)
 		x1, y1 := g.cellOf(s.B)
 		for x := minInt(x0, x1); x <= maxInt(x0, x1); x++ {
@@ -242,7 +293,7 @@ func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *
 	// Pass 2: fill in ascending segment-index order.
 	g.items = growSlice(g.items, total)
 	for i := 0; i < n; i++ {
-		s := segAt(i)
+		s := segs[i]
 		x0, y0 := g.cellOf(s.A)
 		x1, y1 := g.cellOf(s.B)
 		for x := minInt(x0, x1); x <= maxInt(x0, x1); x++ {
@@ -256,15 +307,28 @@ func (g *flatGrid) fill(n int, segAt func(int) geom.Segment, cell float64, scr *
 }
 
 // fillNetSegs and fillNetVias are the fill adapters for the polisher's and
-// reassigner's per-layer views (vias index as degenerate segments). Kept as
-// named methods so the //rdl:noalloc refresh paths that rebuild the grids
-// contain no closure literals.
+// reassigner's per-layer views (vias index as degenerate segments): each
+// stages its typed view into the scratch's segBuf and rebuilds the grid
+// from the flat slice.
+//
+//rdl:noalloc
 func (g *flatGrid) fillNetSegs(segs []netSeg, cell float64, scr *drcScratch) {
-	g.fill(len(segs), func(i int) geom.Segment { return segs[i].seg }, cell, scr)
+	buf := growSlice(scr.segBuf, len(segs))
+	for i := range segs {
+		buf[i] = segs[i].seg
+	}
+	scr.segBuf = buf
+	g.fill(buf, cell, scr)
 }
 
+//rdl:noalloc
 func (g *flatGrid) fillNetVias(vias []netVia, cell float64, scr *drcScratch) {
-	g.fill(len(vias), func(i int) geom.Segment { return geom.Seg(vias[i].pos, vias[i].pos) }, cell, scr)
+	buf := growSlice(scr.segBuf, len(vias))
+	for i := range vias {
+		buf[i] = geom.Seg(vias[i].pos, vias[i].pos)
+	}
+	scr.segBuf = buf
+	g.fill(buf, cell, scr)
 }
 
 // spacingUnit checks the source segments segs[lo:hi] against the grid.
@@ -278,8 +342,7 @@ func (g *flatGrid) fillNetVias(vias []netVia, cell float64, scr *drcScratch) {
 // version still paid for non-violating pairs.
 //
 //rdl:noalloc
-func (l *drcLayer) spacingUnit(lo, hi int,
-	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
+func (l *drcLayer) spacingUnit(lo, hi int, nr netRules,
 	scr *drcScratch) []Violation {
 	const eps = 1e-6
 	var out []Violation
@@ -300,14 +363,14 @@ func (l *drcLayer) spacingUnit(lo, hi int,
 				c := y*g.nx + x
 				for _, ei := range g.items[g.starts[c]:g.starts[c+1]] {
 					e := &l.segs[ei]
-					if e.net <= s.net || sameNet(e.net, s.net) {
+					if e.net <= s.net || nr.sameNet(e.net, s.net) {
 						continue
 					}
 					if scr.stamp[e.id] == scr.gen {
 						continue
 					}
 					scr.stamp[e.id] = scr.gen
-					limit := clearFn(s.net, e.net)
+					limit := nr.clearance(s.net, e.net)
 					dist, pa, _ := s.seg.DistToSegment(e.seg)
 					if dist >= limit-eps {
 						continue
@@ -406,8 +469,7 @@ func sortViolations(vs []Violation) {
 // checkDRC is the shared engine behind CheckDRC, CheckDRCWithDesign and
 // CheckDRCParallel. d is only consulted for keep-out regions and may be nil.
 func checkDRC(routes []*Route, rules design.Rules, layers int,
-	sameNet func(a, b int) bool, clearFn func(a, b int) float64,
-	d *design.Design, workers int, rec obs.Recorder) []Violation {
+	nr netRules, d *design.Design, workers int, rec obs.Recorder) []Violation {
 	rec = obs.Or(rec)
 	if workers < 1 {
 		workers = 1
@@ -424,7 +486,7 @@ func checkDRC(routes []*Route, rules design.Rules, layers int,
 	for layer := 0; layer < layers; layer++ {
 		layer := layer
 		prepUnits[layer] = func(w int) []Violation {
-			prepped[layer] = buildLayer(routes, layer, rules, sameNet, clearFn, &scratches[w])
+			prepped[layer] = buildLayer(routes, layer, rules, nr, &scratches[w])
 			return nil
 		}
 	}
@@ -440,7 +502,7 @@ func checkDRC(routes []*Route, rules design.Rules, layers int,
 		for lo := 0; lo < len(l.segs); lo += drcSpacingChunk {
 			lo, hi := lo, minInt(lo+drcSpacingChunk, len(l.segs))
 			units = append(units, func(w int) []Violation {
-				return l.spacingUnit(lo, hi, sameNet, clearFn, &scratches[w])
+				return l.spacingUnit(lo, hi, nr, &scratches[w])
 			})
 		}
 		for lo := 0; lo < len(l.lines); lo += drcLineChunk {

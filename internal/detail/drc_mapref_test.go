@@ -91,7 +91,7 @@ func (l *mapGridLayer) spacingUnit(lo, hi int,
 func mapGridFindings(routes []*Route, d *design.Design) []Violation {
 	var out []Violation
 	for layer := 0; layer < d.WireLayers; layer++ {
-		l := buildLayer(routes, layer, d.Rules, d.SameGroup, d.Clearance, &drcScratch{})
+		l := buildLayer(routes, layer, d.Rules, netRules{d: d}, &drcScratch{})
 		ref := newMapGridLayer(l, l.cell)
 		out = append(out, ref.spacingUnit(0, len(ref.segs), d.SameGroup, d.Clearance)...)
 		out = append(out, l.wireRuleUnit(0, len(l.lines), d.Rules)...)

@@ -66,7 +66,7 @@ func TestDRCWideClearanceRegression(t *testing.T) {
 	}
 
 	// The engine's cell honours the correctness bound.
-	l := buildLayer(routes, 0, d.Rules, d.SameGroup, d.Clearance, &drcScratch{})
+	l := buildLayer(routes, 0, d.Rules, netRules{d: d}, &drcScratch{})
 	if l.cell < limit {
 		t.Errorf("cell %v below the max pairwise clearance %v", l.cell, limit)
 	}

@@ -60,6 +60,8 @@ func (c Circle) TangentPoints(p Point) (Point, Point, bool) {
 // chosen tangent lines are parallel (which only happens in degenerate
 // configurations such as p_s, p_t and the circle center being collinear with
 // the circle between them at exactly matching angles).
+//
+//rdl:noalloc
 func (c Circle) TangentIntersection(ps, pt, ref Point) (Point, bool) {
 	s1, s2, ok := c.TangentPoints(ps)
 	if !ok {
@@ -76,18 +78,8 @@ func (c Circle) TangentIntersection(ps, pt, ref Point) (Point, bool) {
 	if ApproxZero(away.Norm2()) {
 		away = pt.Sub(ps).Perp()
 	}
-	pickFar := func(p, a, b Point) Point {
-		// Choose the tangent point whose direction from the center aligns
-		// better with "away from ref".
-		da := a.Sub(c.C).Dot(away)
-		db := b.Sub(c.C).Dot(away)
-		if da >= db {
-			return a
-		}
-		return b
-	}
-	sp := pickFar(ps, s1, s2)
-	tp := pickFar(pt, t1, t2)
+	sp := farTangent(c.C, away, s1, s2)
+	tp := farTangent(c.C, away, t1, t2)
 	// Tangent at a point on the circle is perpendicular to the radius; using
 	// the endpoint and its tangent point as the two line points is stable
 	// because both are well separated for external points.
@@ -103,6 +95,18 @@ func (c Circle) TangentIntersection(ps, pt, ref Point) (Point, bool) {
 		lt = LineThrough(pt, pt.Add(r))
 	}
 	return ls.Intersect(lt)
+}
+
+// farTangent chooses, of the two tangent points a and b on the circle
+// centered at c, the one whose direction from the center aligns better with
+// away (the "away from ref" side the detour must bulge toward).
+//
+//rdl:noalloc
+func farTangent(c, away, a, b Point) Point {
+	if a.Sub(c).Dot(away) >= b.Sub(c).Dot(away) {
+		return a
+	}
+	return b
 }
 
 // IntersectSegment reports whether the segment s passes within the circle,

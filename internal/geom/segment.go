@@ -51,28 +51,26 @@ func (s Segment) DistToPoint(p Point) float64 {
 
 // DistToSegment returns the minimum distance between segments s and t, which
 // is zero when they intersect. It also returns the closest pair of points
-// (one on each segment) realizing that distance.
+// (one on each segment) realizing that distance. For disjoint segments the
+// minimum is realized at an endpoint of one against the other, so the four
+// endpoint projections are checked explicitly.
+//
+//rdl:noalloc
 func (s Segment) DistToSegment(t Segment) (float64, Point, Point) {
 	if hit, p := s.Intersection(t); hit {
 		return 0, p, p
 	}
-	best := math.Inf(1)
-	var ps, pt Point
-	check := func(p Point, seg Segment, pOnS bool) {
-		q := seg.ClosestPoint(p)
-		if d := p.Dist(q); d < best {
-			best = d
-			if pOnS {
-				ps, pt = p, q
-			} else {
-				ps, pt = q, p
-			}
-		}
+	ps, pt := s.A, t.ClosestPoint(s.A)
+	best := ps.Dist(pt)
+	if q := t.ClosestPoint(s.B); s.B.Dist(q) < best {
+		best, ps, pt = s.B.Dist(q), s.B, q
 	}
-	check(s.A, t, true)
-	check(s.B, t, true)
-	check(t.A, s, false)
-	check(t.B, s, false)
+	if q := s.ClosestPoint(t.A); t.A.Dist(q) < best {
+		best, ps, pt = t.A.Dist(q), q, t.A
+	}
+	if q := s.ClosestPoint(t.B); t.B.Dist(q) < best {
+		best, ps, pt = t.B.Dist(q), q, t.B
+	}
 	return best, ps, pt
 }
 
@@ -105,6 +103,8 @@ func (s Segment) Intersects(t Segment) bool {
 // Intersection returns a point common to s and t if one exists. For
 // properly crossing segments it is the unique crossing point; for touching
 // or collinear-overlapping segments it is one representative shared point.
+//
+//rdl:noalloc
 func (s Segment) Intersection(t Segment) (bool, Point) {
 	d1 := s.B.Sub(s.A)
 	d2 := t.B.Sub(t.A)
@@ -123,12 +123,12 @@ func (s Segment) Intersection(t Segment) (bool, Point) {
 	if !ApproxZero(diff.Cross(d1)) {
 		return false, Point{}
 	}
-	for _, p := range []Point{t.A, t.B} {
+	for _, p := range [2]Point{t.A, t.B} {
 		if onSegmentCollinear(s, p) {
 			return true, p
 		}
 	}
-	for _, p := range []Point{s.A, s.B} {
+	for _, p := range [2]Point{s.A, s.B} {
 		if onSegmentCollinear(t, p) {
 			return true, p
 		}

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape gate is the compiler-backed cross-check on //rdl:noalloc.
+// The AST analyzers (noalloc, transalloc) prove the absence of the
+// allocating constructs they know about; the gc optimizer's escape
+// analysis decides what actually reaches the heap. The two disagree in
+// both directions — the AST passes flag boxing the compiler may elide,
+// and the compiler moves to the heap locals the AST passes have no rule
+// for (a pointer to a stack variable flowing somewhere it outlives the
+// frame). The gate closes the second direction: it replays the
+// compiler's own -m=2 escape diagnostics and fails if any of them lands
+// inside a //rdl:noalloc function body.
+//
+// A diagnostic inside a noalloc body is discharged three ways:
+//
+//   - An //rdl:allow noalloc or //rdl:allow transalloc on the flagged
+//     line or the line above (the same window the AST passes use): the
+//     site is already audited, and the compiler agreeing with the audit
+//     is not news.
+//   - A dedicated //rdl:allow escape <reason>, for heap moves only the
+//     compiler can see.
+//   - The flagged line holds a static call to a function that is itself
+//     //rdl:noalloc-annotated: the optimizer attributes an inlined
+//     callee's allocation to every caller's call-site line, but the
+//     callee's own definition is audited once — by the AST passes and by
+//     this gate at the callee's body lines — so re-auditing each inline
+//     copy would only multiply the same allow.
+//   - The diagnostic sits exactly on the function's declaration line and
+//     the body holds an audited allow: for generic functions the
+//     compiler folds each shape instantiation's escape verdicts onto
+//     the declaration position, losing the intra-body line, so the body
+//     audit is the closest surviving anchor. A decl-line diagnostic in a
+//     body with no allow at all still fails.
+//
+// Escape allows are themselves policed here: one that matches no
+// diagnostic is stale and reported, exactly like every other suppression
+// in the tree.
+
+// EscapeAnalyzer is the analyzer name escape-gate findings are reported
+// under and the //rdl:allow name that discharges them. It is not part of
+// All(): the gate shells out to the go tool, so it runs as its own
+// rdllint mode (-escape) rather than inside the pure-AST suite.
+const EscapeAnalyzer = "escape"
+
+// EscapeRunner produces the compiler's escape diagnostics for the module
+// rooted at root. The default implementation shells out to
+// `go build -gcflags=-m=2 ./...`; tests substitute canned output.
+type EscapeRunner func(root string) ([]byte, error)
+
+// GoBuildEscapeRunner invokes the gc compiler over every package of the
+// module and returns its diagnostic stream. -m=2 diagnostics replay from
+// the build cache, so a warm second run still produces the full stream —
+// the gate cannot pass vacuously because nothing was recompiled.
+func GoBuildEscapeRunner(root string) ([]byte, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m=2 failed: %v\n%s", err, out)
+	}
+	return out, nil
+}
+
+// escapeDiag is one parsed compiler diagnostic.
+type escapeDiag struct {
+	file      string // absolute path
+	line, col int
+	msg       string
+}
+
+// noallocRange is the source extent of one //rdl:noalloc function.
+type noallocRange struct {
+	name       string
+	start, end int // line numbers, inclusive
+}
+
+// EscapeCheck runs the compiler-backed escape gate over the module. run
+// may be nil, in which case GoBuildEscapeRunner is used.
+func (m *Module) EscapeCheck(run EscapeRunner) ([]Finding, error) {
+	if run == nil {
+		run = GoBuildEscapeRunner
+	}
+	out, err := run(m.Root)
+	if err != nil {
+		return nil, err
+	}
+	diags := parseEscapeDiags(m.Root, out)
+
+	// Index the //rdl:noalloc bodies by file, and — from the call graph —
+	// the lines holding a static call to a //rdl:noalloc callee: the
+	// optimizer reports an inlined callee's allocation at the caller's
+	// call-site line, and those allocations are audited once at the
+	// callee's definition rather than at every inline copy.
+	cg := buildCallGraph(m)
+	ranges := make(map[string][]noallocRange)
+	noallocCalls := make(map[string]map[int]bool)
+	for _, n := range cg.order {
+		pos := m.Fset.Position(n.decl.Pos())
+		if n.noalloc {
+			end := m.Fset.Position(n.decl.End())
+			ranges[pos.Filename] = append(ranges[pos.Filename], noallocRange{
+				name:  shortFuncName(n.fn),
+				start: pos.Line,
+				end:   end.Line,
+			})
+		}
+		for _, e := range n.edges {
+			callee := cg.nodes[e.callee]
+			if callee == nil || !callee.noalloc {
+				continue
+			}
+			p := m.Fset.Position(e.pos)
+			if noallocCalls[p.Filename] == nil {
+				noallocCalls[p.Filename] = make(map[int]bool)
+			}
+			noallocCalls[p.Filename][p.Line] = true
+		}
+	}
+
+	// The gate honours the AST passes' allows (an audited alloc site does
+	// not need auditing twice) plus its own //rdl:allow escape.
+	allows := collectAllows(m.Fset, m.allFiles())
+	auditedAllow := func(a *allowSite) bool {
+		switch a.analyzer {
+		case "noalloc", "transalloc", EscapeAnalyzer:
+			return true
+		}
+		return false
+	}
+	discharges := func(d escapeDiag, fr noallocRange) bool {
+		if noallocCalls[d.file][d.line] {
+			return true
+		}
+		// A diagnostic on the declaration line is a folded generic shape
+		// verdict: match it against any audited allow in the body.
+		lo, hi := d.line-1, d.line
+		if d.line == fr.start {
+			lo, hi = fr.start, fr.end
+		}
+		ok := false
+		for _, a := range allows {
+			if a.pos.Filename != d.file || a.pos.Line < lo || a.pos.Line > hi {
+				continue
+			}
+			if auditedAllow(a) {
+				a.used = true
+				ok = true
+			}
+		}
+		return ok
+	}
+
+	var out2 []Finding
+	for _, d := range diags {
+		fr, ok := enclosingNoalloc(ranges[d.file], d.line)
+		if !ok {
+			continue
+		}
+		if discharges(d, fr) {
+			continue
+		}
+		out2 = append(out2, Finding{
+			Pos:      positionAt(d),
+			Analyzer: EscapeAnalyzer,
+			Message: fmt.Sprintf("compiler escape analysis: %s in //rdl:noalloc function %s; fix the escape or acknowledge with //rdl:allow escape",
+				d.msg, fr.name),
+		})
+	}
+
+	// Police the escape-allow inventory. Only the gate can validate these
+	// (the AST driver skips allow names outside its analyzer set), so the
+	// reason and staleness hygiene both live here.
+	for _, a := range allows {
+		if a.analyzer != EscapeAnalyzer {
+			continue
+		}
+		if a.reason == "" {
+			out2 = append(out2, Finding{
+				Pos:      a.pos,
+				Analyzer: allowAnalyzer,
+				Message:  "//rdl:allow escape needs a written reason",
+			})
+		}
+		if !a.used {
+			out2 = append(out2, Finding{
+				Pos:      a.pos,
+				Analyzer: allowAnalyzer,
+				Message:  "stale //rdl:allow escape: no compiler escape diagnostic left to suppress; delete it",
+			})
+		}
+	}
+	sortFindings(out2)
+	return out2, nil
+}
+
+// parseEscapeDiags extracts the heap-relevant diagnostics from a
+// `go build -gcflags=-m=2` stream: "moved to heap: x" and
+// "... escapes to heap". Inlining reports, "does not escape" verdicts,
+// parameter-leak summaries and the indented flow-explanation lines are
+// all noise for the gate's purpose and dropped. -m=2 frequently emits
+// the same verdict twice at one position (a flow header with a trailing
+// colon plus a summary line); the trailing colon is normalised away and
+// exact duplicates are folded.
+func parseEscapeDiags(root string, out []byte) []escapeDiag {
+	var diags []escapeDiag
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		if line == "" || line[0] == '#' || line[0] == ' ' || line[0] == '\t' {
+			continue // package banner or flow-detail continuation
+		}
+		file, rest, ok := strings.Cut(line, ".go:")
+		if !ok {
+			continue
+		}
+		file += ".go"
+		parts := strings.SplitN(rest, ":", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[0])
+		col, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		msg := strings.TrimSuffix(strings.TrimSpace(parts[2]), ":")
+		if !isEscapeVerdict(msg) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, escapeDiag{file: file, line: ln, col: col, msg: msg})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.msg < b.msg
+	})
+	return diags
+}
+
+// isEscapeVerdict keeps only the diagnostics that mean "this heap
+// allocates": a local moved to the heap or a value escaping to it.
+func isEscapeVerdict(msg string) bool {
+	if strings.HasPrefix(msg, "moved to heap:") {
+		return true
+	}
+	return strings.HasSuffix(msg, "escapes to heap") && !strings.Contains(msg, "does not escape")
+}
+
+// enclosingNoalloc finds the //rdl:noalloc function whose body spans the
+// line, if any.
+func enclosingNoalloc(ranges []noallocRange, line int) (noallocRange, bool) {
+	for _, r := range ranges {
+		if line >= r.start && line <= r.end {
+			return r, true
+		}
+	}
+	return noallocRange{}, false
+}
+
+// positionAt renders a diagnostic's location as a token.Position for a
+// Finding.
+func positionAt(d escapeDiag) token.Position {
+	return token.Position{Filename: d.file, Line: d.line, Column: d.col}
+}

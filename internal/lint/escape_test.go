@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParseEscapeDiags pins the parsing and normalization of the
+// -gcflags=-m=2 stream: package banners and indented flow-explanation
+// lines are noise, "does not escape" and parameter-leak summaries are
+// not heap verdicts, the flow-header trailing colon is normalised away,
+// and exact duplicates fold into one diagnostic.
+func TestParseEscapeDiags(t *testing.T) {
+	out := strings.Join([]string{
+		"# escfixture",
+		"./a.go:5:2: moved to heap: x:",
+		"./a.go:5:2: moved to heap: x",
+		"\tflow: y = &x:",
+		"./a.go:7:9: make([]int, n) does not escape",
+		"./b.go:8:9: make([]int, n) escapes to heap",
+		"./a.go:3:6: can inline Leak",
+		"./b.go:2:2: leaking param: p",
+		"",
+	}, "\n")
+	diags := parseEscapeDiags("/mod", []byte(out))
+	want := []escapeDiag{
+		{file: "/mod/a.go", line: 5, col: 2, msg: "moved to heap: x"},
+		{file: "/mod/b.go", line: 8, col: 9, msg: "make([]int, n) escapes to heap"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("parsed %d diagnostics, want %d: %+v", len(diags), len(want), diags)
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Errorf("diag %d = %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}
+
+// The escape fixture module is loaded once and shared by the canned and
+// real-compiler tests.
+var (
+	escOnce sync.Once
+	escMod  *Module
+	escErr  error
+)
+
+func escModule(t *testing.T) *Module {
+	t.Helper()
+	escOnce.Do(func() {
+		escMod, escErr = LoadModule(filepath.Join("testdata", "escape"))
+	})
+	if escErr != nil {
+		t.Fatalf("loading escape fixture: %v", escErr)
+	}
+	return escMod
+}
+
+// TestEscapeCheckCanned drives the gate with a canned diagnostic stream
+// over the fixture module, covering every discharge path without
+// depending on the toolchain's attribution choices: a heap move in a
+// noalloc body is a finding, one under an //rdl:allow escape is
+// discharged, one outside any annotated body is ignored, an inlined
+// audited callee's caller-line diagnostic is discharged through the call
+// graph, and the callee's own audited make is discharged by its allow.
+func TestEscapeCheckCanned(t *testing.T) {
+	mod := escModule(t)
+	canned := func(lines ...string) EscapeRunner {
+		return func(string) ([]byte, error) {
+			return []byte(strings.Join(lines, "\n") + "\n"), nil
+		}
+	}
+
+	findings, err := mod.EscapeCheck(canned(
+		"# escfixture",
+		"./esc.go:14:2: moved to heap: x",
+		"./esc.go:21:2: moved to heap: y",
+		"./esc.go:32:2: moved to heap: z",
+		"./esc.go:42:9: make([]int, n) escapes to heap",
+		"./esc.go:47:13: make([]int, n) escapes to heap",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the Leak heap move):\n%s", len(findings), renderFindings(mod.Root, findings))
+	}
+	f := findings[0]
+	if f.Analyzer != EscapeAnalyzer || f.Pos.Line != 14 || !strings.Contains(f.Message, "moved to heap: x") || !strings.Contains(f.Message, "Leak") {
+		t.Errorf("unexpected finding: %s", f)
+	}
+
+	// With no diagnostic left for it, the fixture's //rdl:allow escape is
+	// stale and the gate itself must say so.
+	findings, err = mod.EscapeCheck(canned(
+		"./esc.go:14:2: moved to heap: x",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (Leak + stale escape allow):\n%s", len(findings), renderFindings(mod.Root, findings))
+	}
+	stale := findings[1]
+	if stale.Analyzer != allowAnalyzer || stale.Pos.Line != 20 || !strings.Contains(stale.Message, "stale //rdl:allow escape") {
+		t.Errorf("stale escape allow not policed, got: %s", stale)
+	}
+}
+
+// TestEscapeCheckRunnerError pins error propagation: a failing compiler
+// invocation is a hard error, not an empty (vacuously clean) result.
+func TestEscapeCheckRunnerError(t *testing.T) {
+	mod := escModule(t)
+	boom := func(string) ([]byte, error) { return nil, fmt.Errorf("boom") }
+	if _, err := mod.EscapeCheck(boom); err == nil {
+		t.Fatal("EscapeCheck swallowed the runner error")
+	}
+}
+
+// TestEscapeFixtureRealCompiler runs the gate against the real gc escape
+// analysis over the deliberately-escaping fixture and compares with the
+// golden file: exactly the Leak heap move survives — the allowed escape,
+// the unannotated function, and the inlined audited callee all
+// discharge. Run with -update to rewrite the golden.
+func TestEscapeFixtureRealCompiler(t *testing.T) {
+	mod := escModule(t)
+	findings, err := mod.EscapeCheck(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderFindings(mod.Root, findings)
+	if !strings.Contains(got, "moved to heap: x") {
+		t.Fatalf("the deliberate Leak escape was not reported:\n%s", got)
+	}
+
+	golden := filepath.Join("testdata", "golden", "escape.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test ./internal/lint -run EscapeFixture -update` to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("escape findings diverge from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestRepoEscapeClean is the acceptance gate: the compiler's escape
+// analysis must agree that no //rdl:noalloc body in the real repo moves
+// anything to the heap beyond the audited sites.
+func TestRepoEscapeClean(t *testing.T) {
+	mod := repoModule(t)
+	findings, err := mod.EscapeCheck(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("repo has %d escape finding(s); run `go run ./cmd/rdllint -escape` for the same list", len(findings))
+	}
+}
+
+// renderFindings formats findings with root-relative paths for test
+// output and the escape golden file.
+func renderFindings(root string, findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	return b.String()
+}

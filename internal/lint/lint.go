@@ -43,17 +43,26 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one lint pass.
+// Analyzer is one lint pass. Exactly one of Run and RunModule is set:
+// Run makes the analyzer package-local (one invocation per package, the
+// original model), RunModule makes it interprocedural (one invocation
+// over the whole loaded module, with every package's call sites visible
+// at once — the model transalloc's call-graph propagation needs).
 type Analyzer struct {
 	// Name is the identifier used in findings and //rdl:allow comments.
 	Name string
 	// Doc is a one-paragraph description for `rdllint -list` and doc/LINT.md.
 	Doc string
 	// Scope lists the module-relative package directories the analyzer
-	// applies to. Nil means every package in the module.
+	// applies to. Nil means every package in the module. Module-level
+	// analyzers ignore Scope: their whole point is crossing package
+	// boundaries, and they confine themselves through the annotations
+	// (//rdl:noalloc roots) rather than through directory lists.
 	Scope []string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once.
+	RunModule func(*ModulePass)
 }
 
 // AppliesTo reports whether the analyzer's scope covers the package with
@@ -95,6 +104,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(pos, fmt.Sprintf(format, args...))
 }
 
+// ModulePass carries one module-level analyzer run over a loaded module.
+type ModulePass struct {
+	Mod *Module
+
+	analyzer string
+	out      *[]Finding
+}
+
+// Report records a finding at the position.
+func (p *ModulePass) Report(pos token.Pos, msg string) {
+	*p.out = append(*p.out, Finding{
+		Pos:      p.Mod.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  msg,
+	})
+}
+
+// Reportf records a formatted finding at the position.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
 // RunPackage applies the analyzers to one loaded package, honours the
 // //rdl:allow suppressions in its files, and returns the surviving
 // findings plus the suppression-hygiene findings (missing reasons, unused
@@ -103,16 +134,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // fixture tests run an analyzer directly).
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 	raw := runAnalyzers(pkg, analyzers)
+	// Module-level analyzers see the fixture package as a one-package
+	// module, so the interprocedural passes are testable on standalone
+	// fixture directories exactly like the package-local ones.
+	syn := &Module{Root: pkg.Dir, Path: pkg.Path, Fset: pkg.Fset, Pkgs: []*Package{pkg}}
+	runModuleAnalyzers(syn, analyzers, &raw)
 	allows := collectAllows(pkg.Fset, pkg.Files)
 	out := applyAllows(raw, allows, analyzerNames(analyzers))
 	sortFindings(out)
 	return out
 }
 
-// runAnalyzers collects raw findings with no suppression applied.
+// runAnalyzers collects raw package-local findings with no suppression
+// applied. Module-level analyzers are skipped; runModuleAnalyzers covers
+// them.
 func runAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:     pkg.Fset,
 			Files:    pkg.Files,
@@ -124,6 +165,17 @@ func runAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 		a.Run(pass)
 	}
 	return out
+}
+
+// runModuleAnalyzers appends the raw findings of every module-level
+// analyzer in the list.
+func runModuleAnalyzers(m *Module, analyzers []*Analyzer, out *[]Finding) {
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Mod: m, analyzer: a.Name, out: out})
+	}
 }
 
 func analyzerNames(analyzers []*Analyzer) map[string]bool {

@@ -17,12 +17,14 @@ var update = flag.Bool("update", false, "rewrite the golden files from the curre
 // prove the suppression hygiene (stale allows, missing reasons) is
 // enforced by the framework, not by any particular analyzer.
 var fixtureAnalyzers = map[string][]*Analyzer{
-	"detrand":   {Detrand},
-	"mapiter":   {Mapiter},
-	"floateq":   {Floateq},
-	"barego":    {Barego},
-	"noalloc":   {Noalloc},
-	"framework": {Detrand},
+	"detrand":    {Detrand},
+	"mapiter":    {Mapiter},
+	"floateq":    {Floateq},
+	"barego":     {Barego},
+	"noalloc":    {Noalloc},
+	"transalloc": {Transalloc},
+	"readset":    {Readset},
+	"framework":  {Detrand},
 }
 
 // TestFixtures type-checks each fixture package, runs its analyzers with

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -30,9 +31,10 @@ const NoallocDirective = "//rdl:noalloc"
 // scratch-buffer idiom) and appends whose base is a slice expression
 // `append(x[:i], ...)` (the in-place delete/reset idiom) — both write
 // into an existing backing array once warm. The check is per-body:
-// callees are not followed, so every function on the hot path carries its
-// own annotation. Intentional allocations (the ≤4 allocs the A* budget
-// grants route+commit) are acknowledged inline with //rdl:allow noalloc.
+// callees are checked by the interprocedural transalloc pass, which
+// walks the call graph from every annotation. Intentional allocations
+// (the ≤4 allocs the A* budget grants route+commit) are acknowledged
+// inline with //rdl:allow noalloc.
 var Noalloc = &Analyzer{
 	Name: "noalloc",
 	Doc:  "functions annotated //rdl:noalloc may not contain allocating constructs; the sanctioned exceptions carry //rdl:allow noalloc",
@@ -58,57 +60,94 @@ func runNoalloc(p *Pass) {
 			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
 				continue
 			}
-			p.noallocFunc(fd)
+			for _, s := range collectAllocSites(p.Info, fd, "//rdl:noalloc function") {
+				p.Report(s.pos, s.msg)
+			}
 		}
 	}
 }
 
-func (p *Pass) noallocFunc(fd *ast.FuncDecl) {
-	admitted := p.admittedAppends(fd.Body)
+// allocSite is one allocating construct found in a function body.
+type allocSite struct {
+	pos token.Pos
+	msg string
+}
+
+// collectAllocSites scans one function body for the allocating constructs
+// the noalloc contract bans and returns them without reporting. ctx names
+// the function's role inside the messages ("//rdl:noalloc function" for
+// directly annotated bodies, a reachability phrase for the transitive
+// pass).
+func collectAllocSites(info *types.Info, fd *ast.FuncDecl, ctx string) []allocSite {
+	c := &allocChecker{info: info, ctx: ctx}
+	c.scan(fd)
+	return c.out
+}
+
+// allocChecker runs the noalloc body checks over one function, collecting
+// sites instead of reporting, so both the local noalloc analyzer and the
+// interprocedural transalloc analyzer share one definition of
+// "allocating construct".
+type allocChecker struct {
+	info *types.Info
+	ctx  string
+	out  []allocSite
+}
+
+func (c *allocChecker) site(pos token.Pos, msg string) {
+	c.out = append(c.out, allocSite{pos: pos, msg: msg})
+}
+
+func (c *allocChecker) sitef(pos token.Pos, format string, args ...any) {
+	c.site(pos, fmt.Sprintf(format, args...))
+}
+
+func (c *allocChecker) scan(fd *ast.FuncDecl) {
+	admitted := c.admittedAppends(fd.Body)
 
 	var results *types.Tuple
-	if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+	if fn, ok := c.info.Defs[fd.Name].(*types.Func); ok {
 		results = fn.Type().(*types.Signature).Results()
 	}
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.FuncLit:
-			p.Report(e.Pos(), "closure in //rdl:noalloc function: the func value and its captures escape to the heap")
+			c.sitef(e.Pos(), "closure in %s: the func value and its captures escape to the heap", c.ctx)
 			return false // its body is the closure's problem, not this function's
 		case *ast.UnaryExpr:
 			if e.Op == token.AND {
 				if _, ok := e.X.(*ast.CompositeLit); ok {
-					p.Report(e.Pos(), "address of composite literal in //rdl:noalloc function: the literal escapes to the heap")
+					c.sitef(e.Pos(), "address of composite literal in %s: the literal escapes to the heap", c.ctx)
 					return false
 				}
 			}
 		case *ast.CompositeLit:
-			switch p.Info.Types[e].Type.Underlying().(type) {
+			switch c.info.Types[e].Type.Underlying().(type) {
 			case *types.Slice, *types.Map:
-				p.Reportf(e.Pos(), "%s literal in //rdl:noalloc function allocates its backing store",
-					kindName(p.Info.Types[e].Type))
+				c.sitef(e.Pos(), "%s literal in %s allocates its backing store",
+					kindName(c.info.Types[e].Type), c.ctx)
 			}
 		case *ast.BinaryExpr:
-			if e.Op == token.ADD && isString(p.Info.Types[e.X].Type) {
-				p.Report(e.Pos(), "string concatenation in //rdl:noalloc function allocates the result")
+			if e.Op == token.ADD && isString(c.info.Types[e.X].Type) {
+				c.sitef(e.Pos(), "string concatenation in %s allocates the result", c.ctx)
 			}
 		case *ast.AssignStmt:
-			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(p.Info.Types[e.Lhs[0]].Type) {
-				p.Report(e.Pos(), "string concatenation in //rdl:noalloc function allocates the result")
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(c.info.Types[e.Lhs[0]].Type) {
+				c.sitef(e.Pos(), "string concatenation in %s allocates the result", c.ctx)
 			}
-			p.checkBoxingAssign(e)
+			c.checkBoxingAssign(e)
 		case *ast.ReturnStmt:
 			if results != nil && len(e.Results) == results.Len() {
 				for i, r := range e.Results {
-					if p.boxes(results.At(i).Type(), r) {
-						p.Reportf(r.Pos(), "return boxes %s into interface %s in //rdl:noalloc function",
-							types.ExprString(r), results.At(i).Type())
+					if c.boxes(results.At(i).Type(), r) {
+						c.sitef(r.Pos(), "return boxes %s into interface %s in %s",
+							types.ExprString(r), results.At(i).Type(), c.ctx)
 					}
 				}
 			}
 		case *ast.CallExpr:
-			p.checkCall(e, admitted)
+			c.checkCall(e, admitted)
 		}
 		return true
 	})
@@ -116,7 +155,7 @@ func (p *Pass) noallocFunc(fd *ast.FuncDecl) {
 
 // admittedAppends collects the append calls in the non-allocating
 // steady-state shapes: `x = append(x, ...)` and `y = append(x[:i], ...)`.
-func (p *Pass) admittedAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+func (c *allocChecker) admittedAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
 	admitted := make(map[*ast.CallExpr]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -125,7 +164,7 @@ func (p *Pass) admittedAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
 		}
 		for i, rhs := range as.Rhs {
 			call, ok := rhs.(*ast.CallExpr)
-			if !ok || !p.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+			if !ok || !c.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
 				continue
 			}
 			if _, isSliceExpr := call.Args[0].(*ast.SliceExpr); isSliceExpr {
@@ -141,23 +180,23 @@ func (p *Pass) admittedAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
 	return admitted
 }
 
-func (p *Pass) checkCall(call *ast.CallExpr, admitted map[*ast.CallExpr]bool) {
+func (c *allocChecker) checkCall(call *ast.CallExpr, admitted map[*ast.CallExpr]bool) {
 	// Builtins.
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make", "new":
-				p.Reportf(call.Pos(), "%s in //rdl:noalloc function allocates", b.Name())
+				c.sitef(call.Pos(), "%s in %s allocates", b.Name(), c.ctx)
 			case "append":
 				if !admitted[call] {
-					p.Report(call.Pos(), "append outside the reuse idioms (x = append(x, ...) or append(x[:i], ...)) in //rdl:noalloc function can grow a fresh backing array")
+					c.sitef(call.Pos(), "append outside the reuse idioms (x = append(x, ...) or append(x[:i], ...)) in %s can grow a fresh backing array", c.ctx)
 				}
 			}
 			return
 		}
 	}
 
-	tv, ok := p.Info.Types[call.Fun]
+	tv, ok := c.info.Types[call.Fun]
 	if !ok {
 		return
 	}
@@ -167,16 +206,16 @@ func (p *Pass) checkCall(call *ast.CallExpr, admitted map[*ast.CallExpr]bool) {
 			return
 		}
 		dst := tv.Type
-		src := p.Info.Types[call.Args[0]].Type
+		src := c.info.Types[call.Args[0]].Type
 		if src == nil {
 			return
 		}
 		if stringBytesConv(dst, src) {
-			p.Reportf(call.Pos(), "conversion %s(%s) in //rdl:noalloc function copies the data",
-				dst, types.ExprString(call.Args[0]))
-		} else if p.boxes(dst, call.Args[0]) {
-			p.Reportf(call.Pos(), "conversion boxes %s into interface %s in //rdl:noalloc function",
-				types.ExprString(call.Args[0]), dst)
+			c.sitef(call.Pos(), "conversion %s(%s) in %s copies the data",
+				dst, types.ExprString(call.Args[0]), c.ctx)
+		} else if c.boxes(dst, call.Args[0]) {
+			c.sitef(call.Pos(), "conversion boxes %s into interface %s in %s",
+				types.ExprString(call.Args[0]), dst, c.ctx)
 		}
 		return
 	}
@@ -190,14 +229,14 @@ func (p *Pass) checkCall(call *ast.CallExpr, admitted map[*ast.CallExpr]bool) {
 		if pt == nil {
 			continue
 		}
-		if p.boxes(pt, arg) {
-			p.Reportf(arg.Pos(), "argument boxes %s into interface %s in //rdl:noalloc function",
-				types.ExprString(arg), pt)
+		if c.boxes(pt, arg) {
+			c.sitef(arg.Pos(), "argument boxes %s into interface %s in %s",
+				types.ExprString(arg), pt, c.ctx)
 		}
 	}
 }
 
-func (p *Pass) checkBoxingAssign(as *ast.AssignStmt) {
+func (c *allocChecker) checkBoxingAssign(as *ast.AssignStmt) {
 	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
@@ -205,30 +244,30 @@ func (p *Pass) checkBoxingAssign(as *ast.AssignStmt) {
 		var lt types.Type
 		if as.Tok == token.DEFINE {
 			if id, ok := lhs.(*ast.Ident); ok {
-				if obj := p.Info.Defs[id]; obj != nil {
+				if obj := c.info.Defs[id]; obj != nil {
 					lt = obj.Type()
 				}
 			}
-		} else if tv, ok := p.Info.Types[lhs]; ok {
+		} else if tv, ok := c.info.Types[lhs]; ok {
 			lt = tv.Type
 		}
 		if lt == nil {
 			continue
 		}
-		if p.boxes(lt, as.Rhs[i]) {
-			p.Reportf(as.Rhs[i].Pos(), "assignment boxes %s into interface %s in //rdl:noalloc function",
-				types.ExprString(as.Rhs[i]), lt)
+		if c.boxes(lt, as.Rhs[i]) {
+			c.sitef(as.Rhs[i].Pos(), "assignment boxes %s into interface %s in %s",
+				types.ExprString(as.Rhs[i]), lt, c.ctx)
 		}
 	}
 }
 
 // boxes reports whether storing expr into a destination of type dst wraps
 // a concrete value in an interface (which may heap-allocate the value).
-func (p *Pass) boxes(dst types.Type, expr ast.Expr) bool {
+func (c *allocChecker) boxes(dst types.Type, expr ast.Expr) bool {
 	if dst == nil || !types.IsInterface(dst) {
 		return false
 	}
-	tv, ok := p.Info.Types[expr]
+	tv, ok := c.info.Types[expr]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -262,12 +301,12 @@ func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
 }
 
 // isBuiltin reports whether fun names the given builtin.
-func (p *Pass) isBuiltin(fun ast.Expr, name string) bool {
+func (c *allocChecker) isBuiltin(fun ast.Expr, name string) bool {
 	id, ok := fun.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	b, ok := p.Info.Uses[id].(*types.Builtin)
+	b, ok := c.info.Uses[id].(*types.Builtin)
 	return ok && b.Name() == name
 }
 

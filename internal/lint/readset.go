@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Readset machine-checks the soundness rule that keeps speculative
+// parallel global routing byte-identical to the serial schedule. A
+// speculative search runs against a snapshot of the congestion state;
+// it is committed only if specValid proves that nothing the search
+// *read* changed while it ran. That proof is exactly as good as the
+// read set: a search-path read of shared mutable state that is not
+// recorded in the scratch's read set is invisible to validation, and a
+// conflicting commit slips through as silent nondeterminism — the worst
+// failure mode this codebase has, because every differential test still
+// passes on the lucky schedules.
+//
+// The rule, as encoded here:
+//
+//   - A function is in the search-path scope iff it takes a
+//     *searchScratch parameter. (The scratch is threaded through every
+//     function the speculative search may execute; commit and ripUp run
+//     only under the serializing lock and take no scratch.)
+//   - Inside scope, every read of the shared congestion state — the
+//     nodeUse, linkUse, seqs and passages collections — must be paired
+//     with the matching read-set record: readNode for nodeUse and seqs
+//     (both validate under the node's change stamp), readLink for
+//     linkUse, readTile for passages.
+//   - "Paired" means a record call with a textually identical index
+//     expression appears earlier in the same function body. Textual
+//     matching (types.ExprString) is deliberately strict: aliasing the
+//     index through another variable defeats the analyzer, and the
+//     discipline of recording immediately before reading is exactly the
+//     idiom the hand-written code already follows.
+//
+// Pure writes (plain assignment to an indexed element) are not reads.
+// Compound assignments and increments read the old value and count.
+var Readset = &Analyzer{
+	Name: "readset",
+	Doc:  "search-path reads of speculative congestion state (nodeUse/linkUse/seqs/passages) must be preceded by the matching read-set record call (readNode/readLink/readTile) with the same index expression",
+	Scope: []string{
+		"internal/global",
+	},
+	Run: runReadset,
+}
+
+// scratchTypeName is the type whose presence in a parameter list marks a
+// function as part of the speculative search path.
+const scratchTypeName = "searchScratch"
+
+// trackedState maps each shared-state collection to the record method
+// that makes a read of it visible to speculative validation.
+var trackedState = map[string]string{
+	"nodeUse":  "readNode",
+	"linkUse":  "readLink",
+	"seqs":     "readNode",
+	"passages": "readTile",
+}
+
+func runReadset(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasScratchParam(p.Info, fd) {
+				continue
+			}
+			checkReadset(p, fd)
+		}
+	}
+}
+
+// hasScratchParam reports whether the function takes a *searchScratch
+// parameter (receiver excluded: the scratch's own methods implement the
+// recording and are not themselves subject to the rule).
+func hasScratchParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isScratchPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isScratchPtr reports whether t is *searchScratch.
+func isScratchPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == scratchTypeName
+}
+
+// recordCall is one readNode/readLink/readTile invocation.
+type recordCall struct {
+	method string // readNode, readLink or readTile
+	arg    string // types.ExprString of the recorded index
+	pos    token.Pos
+}
+
+func checkReadset(p *Pass, fd *ast.FuncDecl) {
+	// Pass 1: collect the record calls and the pure-write sites.
+	var records []recordCall
+	pureWrites := make(map[*ast.IndexExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if rc, ok := asRecordCall(p.Info, e); ok {
+				records = append(records, rc)
+			}
+		case *ast.AssignStmt:
+			if e.Tok != token.ASSIGN {
+				return true // compound assignment reads the old value
+			}
+			for _, lhs := range e.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					pureWrites[ix] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: every tracked read must have a matching record before it.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok || pureWrites[ix] {
+			return true
+		}
+		field, ok := trackedFieldRead(p.Info, ix)
+		if !ok {
+			return true
+		}
+		want := trackedState[field]
+		arg := types.ExprString(ix.Index)
+		for _, rc := range records {
+			if rc.method == want && rc.arg == arg && rc.pos < ix.Pos() {
+				return true
+			}
+		}
+		p.Reportf(ix.Pos(), "search-path read of %s[%s] has no preceding %s(%s) in %s: speculative validation cannot see unrecorded reads, so a conflicting commit would slip through as nondeterminism",
+			field, arg, want, arg, fd.Name.Name)
+		return true
+	})
+}
+
+// asRecordCall matches sc.readNode(e) / sc.readLink(e) / sc.readTile(e)
+// for any receiver of type *searchScratch.
+func asRecordCall(info *types.Info, call *ast.CallExpr) (recordCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return recordCall{}, false
+	}
+	switch sel.Sel.Name {
+	case "readNode", "readLink", "readTile":
+	default:
+		return recordCall{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isScratchPtr(tv.Type) {
+		return recordCall{}, false
+	}
+	return recordCall{
+		method: sel.Sel.Name,
+		arg:    types.ExprString(call.Args[0]),
+		pos:    call.Pos(),
+	}, true
+}
+
+// trackedFieldRead reports whether ix indexes one of the shared
+// congestion-state collections: a field selection named nodeUse,
+// linkUse, seqs or passages.
+func trackedFieldRead(info *types.Info, ix *ast.IndexExpr) (string, bool) {
+	sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, tracked := trackedState[sel.Sel.Name]; !tracked {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,5 +1,7 @@
 package lint
 
+import "go/ast"
+
 // DeterministicScope lists the packages whose output must be a pure
 // function of the input design and options: the geometry kernels, the
 // triangulation, via planning, the routing graph, both routing stages, the
@@ -40,6 +42,8 @@ func All() []*Analyzer {
 		Floateq,
 		Barego,
 		Noalloc,
+		Transalloc,
+		Readset,
 	}
 }
 
@@ -58,23 +62,38 @@ func (m *Module) LintUnsuppressed(analyzers []*Analyzer) []Finding {
 }
 
 func (m *Module) lint(analyzers []*Analyzer, suppress bool) []Finding {
-	known := analyzerNames(analyzers)
-	var out []Finding
+	var raw []Finding
 	for _, pkg := range m.Pkgs {
 		var scoped []*Analyzer
 		for _, a := range analyzers {
-			if a.AppliesTo(m.Path, pkg.Path) {
+			if a.Run != nil && a.AppliesTo(m.Path, pkg.Path) {
 				scoped = append(scoped, a)
 			}
 		}
-		raw := runAnalyzers(pkg, scoped)
-		if suppress {
-			allows := collectAllows(m.Fset, pkg.Files)
-			out = append(out, applyAllows(raw, allows, known)...)
-		} else {
-			out = append(out, raw...)
-		}
+		raw = append(raw, runAnalyzers(pkg, scoped)...)
 	}
+	// Interprocedural passes run once over the whole module, after every
+	// package is loaded: a transalloc finding carries a call chain that may
+	// cross several packages, and the allow that acknowledges it lives at
+	// the flagged site, wherever that is. Suppression is therefore applied
+	// globally — one allow inventory over all files — rather than
+	// per package.
+	runModuleAnalyzers(m, analyzers, &raw)
+	if !suppress {
+		sortFindings(raw)
+		return raw
+	}
+	allows := collectAllows(m.Fset, m.allFiles())
+	out := applyAllows(raw, allows, analyzerNames(analyzers))
 	sortFindings(out)
 	return out
+}
+
+// allFiles returns every parsed file of the module.
+func (m *Module) allFiles() []*ast.File {
+	var files []*ast.File
+	for _, pkg := range m.Pkgs {
+		files = append(files, pkg.Files...)
+	}
+	return files
 }

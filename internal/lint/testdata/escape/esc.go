@@ -1,0 +1,48 @@
+// Package escfixture exercises the compiler-backed escape gate: a heap
+// move inside a //rdl:noalloc body that the AST analyzers cannot see (a
+// stack variable escaping through a returned pointer), a matching
+// audited //rdl:allow escape, an escape outside any annotated body, and
+// an inlined audited callee whose allocation the optimizer attributes
+// to the caller's call-site line.
+package escfixture
+
+// Leak moves x to the heap: &x outlives the frame. The AST noalloc pass
+// has no rule for this — only the compiler's escape analysis sees it.
+//
+//rdl:noalloc
+func Leak() *int {
+	x := 42
+	return &x // REPORTED: moved to heap
+}
+
+//rdl:noalloc
+func Allowed() *int {
+	//rdl:allow escape the pointer is handed to a caller-owned arena that recycles it before the next routing pass begins
+	y := 7
+	return &y // SUPPRESSED
+}
+
+//rdl:noalloc
+func Clean(a, b int) int {
+	return a + b
+}
+
+// Unannotated escapes freely: the gate only polices //rdl:noalloc bodies.
+func Unannotated() *int {
+	z := 1
+	return &z
+}
+
+// grow is audited at its definition; useGrow inherits that audit for the
+// inlined copy the compiler attributes to its call-site line.
+//
+//rdl:noalloc
+func grow(n int) []int {
+	//rdl:allow noalloc amortized growth: the fixture mirrors the detail-stage scratch buffers
+	return make([]int, n)
+}
+
+//rdl:noalloc
+func useGrow(n int) []int {
+	return grow(n) // NOT reported: static call to an audited //rdl:noalloc callee
+}

@@ -1,0 +1,85 @@
+// Package readset exercises the speculative read-set pairing rule: inside
+// the search-path scope (any function taking a *searchScratch), every read
+// of the shared congestion state must be preceded — in the same body, with
+// a textually identical index expression — by the record call that makes
+// the read visible to speculative validation: readNode for nodeUse and
+// seqs, readLink for linkUse, readTile for passages.
+package readset
+
+type NodeID int32
+
+type tileKey struct{ layer, tri int }
+
+type searchScratch struct {
+	nodes []NodeID
+	links []int
+	tiles []tileKey
+}
+
+func (s *searchScratch) readNode(id NodeID) { s.nodes = append(s.nodes, id) }
+func (s *searchScratch) readLink(id int)    { s.links = append(s.links, id) }
+func (s *searchScratch) readTile(k tileKey) { s.tiles = append(s.tiles, k) }
+
+type Router struct {
+	nodeUse  []int
+	linkUse  []int
+	seqs     [][]int
+	passages map[tileKey][]int
+}
+
+// recorded pairs every consult with its record: no findings.
+func (r *Router) recorded(sc *searchScratch, id NodeID, l int, k tileKey) int {
+	sc.readNode(id)
+	n := r.nodeUse[id]
+	n += len(r.seqs[id]) // seqs validates under the node stamp already recorded
+	sc.readLink(l)
+	n += r.linkUse[l]
+	sc.readTile(k)
+	n += len(r.passages[k])
+	return n
+}
+
+func (r *Router) unrecordedNode(sc *searchScratch, id NodeID) int {
+	return r.nodeUse[id] // REPORTED: no readNode(id) anywhere
+}
+
+func (r *Router) recordAfter(sc *searchScratch, id NodeID) int {
+	n := r.nodeUse[id] // REPORTED: the record must precede the read
+	sc.readNode(id)
+	return n
+}
+
+func (r *Router) wrongIndex(sc *searchScratch, a, b NodeID) int {
+	sc.readNode(a)
+	return r.nodeUse[b] // REPORTED: recorded a, read b
+}
+
+func (r *Router) wrongRecord(sc *searchScratch, id NodeID) int {
+	sc.readLink(42)
+	return len(r.seqs[id]) // REPORTED: seqs needs readNode, not readLink
+}
+
+func (r *Router) unrecordedTile(sc *searchScratch, k tileKey) int {
+	return len(r.passages[k]) // REPORTED
+}
+
+// commit has no scratch parameter: it runs under the serializing lock,
+// outside the speculative scope, and may read freely.
+func (r *Router) commit(id NodeID) {
+	r.nodeUse[id]++
+}
+
+// writeOnly performs a pure write, which is not a read.
+func (r *Router) writeOnly(sc *searchScratch, id NodeID) {
+	r.nodeUse[id] = 0
+}
+
+// bump reads the old value through a compound assignment.
+func (r *Router) bump(sc *searchScratch, id NodeID) {
+	r.nodeUse[id] += 1 // REPORTED: compound assignment reads before it writes
+}
+
+func (r *Router) audited(sc *searchScratch, id NodeID) int {
+	//rdl:allow readset the node was pinned by the caller before the search started; its usage cannot change mid-pass
+	return r.nodeUse[id] // SUPPRESSED
+}

@@ -1,0 +1,114 @@
+// Package transalloc exercises the interprocedural //rdl:noalloc
+// propagation: allocating constructs in unannotated callees reached
+// through static call chains (direct calls, concrete-receiver methods,
+// generic instantiations, once-bound local function values), dynamic
+// call sites that need an audited //rdl:allow transalloc, and the
+// traversal stopping at callees that carry their own annotation.
+package transalloc
+
+type buf struct {
+	data []int
+	grow func(n int) []int
+}
+
+// leafAlloc and midCall are unannotated helpers: their allocations are
+// only findings because a //rdl:noalloc root reaches them.
+
+func leafAlloc(n int) []int {
+	return make([]int, n) // REPORTED once, under the first root in source order
+}
+
+func midCall(n int) []int {
+	return leafAlloc(n)
+}
+
+// Root reaches leafAlloc through a two-hop static chain.
+//
+//rdl:noalloc
+func Root(n int) []int {
+	return midCall(n)
+}
+
+// fill allocates inside a concrete-receiver method chain.
+func (b *buf) fill(n int) {
+	b.data = append(b.data, make([]int, n)...) // REPORTED (the make; the self-append is admitted)
+}
+
+//rdl:noalloc
+func (b *buf) Refill(n int) {
+	b.fill(n)
+}
+
+// GrowDyn calls through a func-typed field: unresolvable statically, so
+// the site needs an audited allow.
+//
+//rdl:noalloc
+func (b *buf) GrowDyn(n int) {
+	b.data = b.grow(n) // REPORTED: call through func-typed field
+}
+
+//rdl:noalloc
+func (b *buf) GrowDynAllowed(n int) {
+	//rdl:allow transalloc grow is bound once at construction to a resizer that reslices a preallocated arena
+	b.data = b.grow(n) // SUPPRESSED
+}
+
+// viaIface dispatches through an interface inside a reachable helper.
+
+type sizer interface{ size() int }
+
+func viaIface(s sizer) int {
+	return s.size() // REPORTED: interface method call on a noalloc path
+}
+
+//rdl:noalloc
+func RootIface(s sizer) int {
+	return viaIface(s)
+}
+
+// annotatedLeaf carries its own //rdl:noalloc: the traversal stops at it,
+// because its body (and its allow budget) belongs to the local noalloc
+// pass. Only that pass — not transalloc — would flag the make below.
+//
+//rdl:noalloc
+func annotatedLeaf(n int) []int {
+	return make([]int, n) // NOT reported by transalloc: annotated callees are their own roots
+}
+
+//rdl:noalloc
+func RootStops(n int) []int {
+	return annotatedLeaf(n)
+}
+
+func leafAlloc2(n int) []int {
+	return make([]int, n) // REPORTED via the once-bound local below
+}
+
+// RootBound binds a local variable to a function exactly once; the call
+// through it resolves statically.
+//
+//rdl:noalloc
+func RootBound(n int) []int {
+	f := leafAlloc2
+	return f(n)
+}
+
+// RootReassigned rebinds the variable, so the call is dynamic.
+//
+//rdl:noalloc
+func RootReassigned(n int, flip bool) []int {
+	f := leafAlloc
+	if flip {
+		f = leafAlloc2
+	}
+	return f(n) // REPORTED: call through a reassigned func value
+}
+
+func genAlloc[T any](n int) []T {
+	return make([]T, n) // REPORTED: generic instantiations fold onto this declaration
+}
+
+//rdl:noalloc
+func RootGeneric(n int) []int {
+	return genAlloc[int](n)
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Transalloc propagates the //rdl:noalloc contract through the module
+// call graph. The local noalloc pass is deliberately per-body — every
+// function on the hot path carries its own annotation — which leaves a
+// gap: an annotated function calling an *unannotated* helper keeps a
+// clean body while the helper allocates on its behalf. Transalloc closes
+// it. From every //rdl:noalloc root it walks the statically resolvable
+// call edges (direct calls, concrete-receiver methods, once-bound local
+// function values); any allocating construct in a reachable unannotated
+// function is a finding carrying the allocation site and the full call
+// chain from the root. Reachable functions that are themselves annotated
+// //rdl:noalloc terminate the walk — they are roots of their own, and
+// their bodies (plus their audited //rdl:allow noalloc budget) are the
+// local pass's responsibility.
+//
+// Calls the resolver cannot see through — interface dispatch, func-typed
+// fields or parameters, reassigned function variables — are findings in
+// their own right when they sit on a noalloc path: the analysis cannot
+// prove the callee allocation-free, so a human must audit it and say so
+// with //rdl:allow transalloc <reason> at the call site. That keeps the
+// dynamic-call inventory on the hot path explicit and shrink-only, the
+// same discipline the rest of the suite applies.
+//
+// Out-of-module (standard library) callees are not traversed: their
+// boxing at the call site is caught by the local noalloc checks, and the
+// compiler-backed escape gate (rdllint -escape) cross-checks the rest
+// against the optimizer's own escape analysis.
+var Transalloc = &Analyzer{
+	Name:      "transalloc",
+	Doc:       "//rdl:noalloc functions must not reach an allocating callee through the call graph; unresolvable (interface/func-value) calls on a noalloc path need an audited //rdl:allow transalloc",
+	RunModule: runTransalloc,
+}
+
+// transallocCtx phrases the alloc-site messages for callee bodies.
+const transallocCtx = "a function reached from //rdl:noalloc"
+
+func runTransalloc(p *ModulePass) {
+	cg := buildCallGraph(p.Mod)
+
+	// allocCache holds the per-function alloc sites so a helper shared by
+	// many roots is scanned once.
+	allocCache := make(map[*funcNode][]allocSite)
+	sites := func(n *funcNode) []allocSite {
+		if s, ok := allocCache[n]; ok {
+			return s
+		}
+		s := collectAllocSites(n.pkg.Info, n.decl, transallocCtx)
+		allocCache[n] = s
+		return s
+	}
+
+	// reported dedups findings by position: a site reachable from several
+	// roots is reported once, under the first root in source order, so the
+	// output stays stable and one //rdl:allow discharges the site for
+	// every chain through it.
+	reported := make(map[token.Pos]bool)
+
+	for _, root := range cg.order {
+		if !root.noalloc {
+			continue
+		}
+		rootName := shortFuncName(root.fn)
+
+		// Dynamic calls in the root's own body: the local pass does not
+		// look at calls beyond their argument boxing, so the escape hatch
+		// for unresolvable dispatch is enforced here for roots too.
+		for _, d := range root.dyns {
+			if reported[d.pos] {
+				continue
+			}
+			reported[d.pos] = true
+			p.Reportf(d.pos, "%s in //rdl:noalloc %s cannot be proven allocation-free; audit the callee and acknowledge with //rdl:allow transalloc",
+				d.why, rootName)
+		}
+
+		// Walk the static edges from the root. parentEdge remembers how
+		// each function was first reached so findings can print the chain.
+		type visit struct {
+			node *funcNode
+			via  string // rendered chain root -> ... -> node
+		}
+		seen := map[*funcNode]bool{root: true}
+		queue := []visit{}
+		for _, e := range root.edges {
+			if callee := cg.nodes[e.callee]; callee != nil && !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, visit{node: callee, via: rootName + " -> " + shortFuncName(callee.fn)})
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if v.node.noalloc {
+				continue // its own annotation makes it a root; the local pass owns its body
+			}
+			for _, s := range sites(v.node) {
+				if reported[s.pos] {
+					continue
+				}
+				reported[s.pos] = true
+				p.Reportf(s.pos, "%s — reachable from //rdl:noalloc %s via %s; annotate the helper //rdl:noalloc or acknowledge with //rdl:allow transalloc",
+					s.msg, rootName, v.via)
+			}
+			for _, d := range v.node.dyns {
+				if reported[d.pos] {
+					continue
+				}
+				reported[d.pos] = true
+				p.Reportf(d.pos, "%s reachable from //rdl:noalloc %s via %s cannot be proven allocation-free; audit the callee and acknowledge with //rdl:allow transalloc",
+					d.why, rootName, v.via)
+			}
+			for _, e := range v.node.edges {
+				if callee := cg.nodes[e.callee]; callee != nil && !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, visit{node: callee, via: v.via + " -> " + shortFuncName(callee.fn)})
+				}
+			}
+		}
+	}
+}
+
+// shortFuncName renders a function or method name for findings:
+// "route" for package functions, "(*Router).route" for methods, with
+// generic type arguments elided.
+func shortFuncName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := sig.Recv().Type()
+	star := ""
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+		star = "*"
+	}
+	name := "?"
+	if named, isNamed := recv.(*types.Named); isNamed {
+		name = named.Obj().Name()
+	} else {
+		name = recv.String()
+		if i := strings.LastIndex(name, "."); i >= 0 {
+			name = name[i+1:]
+		}
+	}
+	return fmt.Sprintf("(%s%s).%s", star, name, fn.Name())
+}

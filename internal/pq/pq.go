@@ -42,12 +42,16 @@ func (h *Heap[T]) Grow(n int) {
 }
 
 // Push adds x to the heap.
+//
+//rdl:noalloc
 func (h *Heap[T]) Push(x T) {
 	h.data = append(h.data, x)
 	h.up(len(h.data) - 1)
 }
 
 // Pop removes and returns the minimum element. It panics on an empty heap.
+//
+//rdl:noalloc
 func (h *Heap[T]) Pop() T {
 	n := len(h.data) - 1
 	top := h.data[0]
@@ -61,9 +65,11 @@ func (h *Heap[T]) Pop() T {
 	return top
 }
 
+//rdl:noalloc
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
+		//rdl:allow transalloc less is bound once at New and never reassigned; the routing comparators compare scalar keys and cannot allocate
 		if !h.less(h.data[i], h.data[parent]) {
 			return
 		}
@@ -72,6 +78,7 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
+//rdl:noalloc
 func (h *Heap[T]) down(i int) {
 	n := len(h.data)
 	for {
@@ -80,9 +87,11 @@ func (h *Heap[T]) down(i int) {
 			return
 		}
 		m := l
+		//rdl:allow transalloc less is bound once at New and never reassigned; the routing comparators compare scalar keys and cannot allocate
 		if r := l + 1; r < n && h.less(h.data[r], h.data[l]) {
 			m = r
 		}
+		//rdl:allow transalloc less is bound once at New and never reassigned; the routing comparators compare scalar keys and cannot allocate
 		if !h.less(h.data[m], h.data[i]) {
 			return
 		}

@@ -439,10 +439,13 @@ func (g *Graph) LayerAllowed(netID, layer int) bool {
 }
 
 // NetPins returns the source and target via nodes of a net.
+//
+//rdl:noalloc
 func (g *Graph) NetPins(n design.Net) (NodeID, NodeID, error) {
 	s, okS := g.PinNode[n.Pins[0]]
 	t, okT := g.PinNode[n.Pins[1]]
 	if !okS || !okT {
+		//rdl:allow noalloc failure path: a missing pin node is a malformed design and aborts the route; the warm path never builds the error
 		return Invalid, Invalid, fmt.Errorf("rgraph: net %d pins not in graph", n.ID)
 	}
 	return s, t, nil
